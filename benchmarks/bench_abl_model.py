@@ -1,0 +1,69 @@
+"""Ablations of the timing model's own design choices (DESIGN.md).
+
+The RT-unit model makes three modeling decisions the paper's hardware
+implies but GPGPU-Sim provides implicitly; this benchmark quantifies
+each so reviewers can see what carries the results:
+
+* **MSHR merging + broadcast** (in-flight line requests shared within a
+  warp) - disable by setting the coalesce window to zero;
+* **per-thread progress vs warp barrier** - the barrier variant forces
+  every iteration to wait for its slowest thread;
+* **banked DRAM contention** - compare against a single-bank DRAM.
+
+Expected shape: each mechanism matters (cycles change measurably), and
+the baseline ordering (barrier slower, fewer banks slower) holds.
+"""
+
+from repro.analysis.experiments import SWEEP_WORKLOAD, scaled_predictor_config
+from repro.analysis.tables import format_table
+from repro.gpu.config import DRAMConfig, MemoryConfig, RTUnitConfig
+
+SCENE = "SP"
+
+
+def test_abl_timing_model(benchmark, ctx, report):
+    def run():
+        rows = []
+        default = ctx.baseline(SCENE, SWEEP_WORKLOAD)
+        rows.append(("default model", default.cycles, 1.0))
+
+        no_window = ctx.baseline(
+            SCENE, SWEEP_WORKLOAD, rt_unit=RTUnitConfig(coalesce_window=0)
+        )
+        rows.append(
+            ("no coalesce window", no_window.cycles, default.cycles / no_window.cycles)
+        )
+
+        barrier = ctx.baseline(
+            SCENE, SWEEP_WORKLOAD, rt_unit=RTUnitConfig(warp_barrier=True)
+        )
+        rows.append(("warp barrier", barrier.cycles, default.cycles / barrier.cycles))
+
+        one_bank = ctx.baseline(
+            SCENE, SWEEP_WORKLOAD,
+            memory=MemoryConfig(dram=DRAMConfig(num_banks=1)),
+        )
+        rows.append(("1 DRAM bank", one_bank.cycles, default.cycles / one_bank.cycles))
+
+        wide_port = ctx.baseline(
+            SCENE, SWEEP_WORKLOAD, memory=MemoryConfig(l1_ports=8)
+        )
+        rows.append(("8 L1 ports", wide_port.cycles, default.cycles / wide_port.cycles))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "abl_timing_model",
+        format_table(
+            ["Model variant", "Cycles", "Speedup vs default"],
+            [list(r) for r in rows],
+            title="Ablation: timing-model mechanisms (baseline RT unit)",
+        ),
+    )
+
+    by_name = {r[0]: r for r in rows}
+    # The barrier can only slow execution; fewer banks can only hurt;
+    # more ports can only help.
+    assert by_name["warp barrier"][1] >= by_name["default model"][1]
+    assert by_name["1 DRAM bank"][1] >= by_name["default model"][1]
+    assert by_name["8 L1 ports"][1] <= by_name["default model"][1]

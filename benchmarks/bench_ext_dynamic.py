@@ -1,0 +1,81 @@
+"""Extension (paper Section 8, future work): dynamic scenes and
+inter-frame predictor persistence.
+
+The conclusion suggests preserving predictor state between frames and
+retraining only for dynamic elements.  This benchmark simulates a
+three-frame animation: geometry jitters slightly each frame and the BVH
+is *refitted* (topology preserved, so stored node indices stay valid).
+Three policies are compared:
+
+* **cold**  - reset the table every frame (the paper's per-frame setup);
+* **warm**  - keep the table across frames (rebind to the refitted tree);
+* **frame 1** - the first frame, identical for both (the training cost).
+
+Expected shape: the warm table predicts more rays than a cold table on
+later frames, and verified rates survive small motion - the property
+that makes the future-work direction credible.
+"""
+
+from repro.analysis.experiments import SWEEP_WORKLOAD, scaled_predictor_config
+from repro.analysis.tables import format_table
+from repro.bvh import jitter_mesh, refit_bvh
+from repro.gpu import GPUConfig, simulate_workload
+from repro.gpu.simulator import make_predictors
+from repro.rays import generate_ao_workload
+
+SCENE = "LR"
+FRAMES = 3
+MOTION = 0.01  # fraction of scene units moved per frame
+
+
+def test_ext_interframe_persistence(benchmark, ctx, report):
+    config = GPUConfig(predictor=scaled_predictor_config())
+
+    def run():
+        scene = ctx.scene(SCENE)
+        base_bvh = ctx.bvh(SCENE)
+        warm_pool = make_predictors(base_bvh, config)
+
+        rows = []
+        bvh = base_bvh
+        for frame in range(FRAMES):
+            if frame > 0:
+                moved = jitter_mesh(bvh.mesh, MOTION, seed=100 + frame)
+                bvh = refit_bvh(bvh, moved)
+                for predictor in warm_pool:
+                    predictor.rebind(bvh)
+            workload = generate_ao_workload(
+                scene, bvh,
+                width=SWEEP_WORKLOAD.width, height=SWEEP_WORKLOAD.height,
+                spp=SWEEP_WORKLOAD.spp, seed=SWEEP_WORKLOAD.seed + frame,
+            )
+            warm = simulate_workload(bvh, workload.rays, config, predictors=warm_pool)
+            cold = simulate_workload(bvh, workload.rays, config)
+            rows.append(
+                (
+                    frame,
+                    cold.predicted_rate,
+                    cold.verified_rate,
+                    warm.predicted_rate,
+                    warm.verified_rate,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ext_dynamic_interframe",
+        format_table(
+            ["Frame", "Cold predicted", "Cold verified",
+             "Warm predicted", "Warm verified"],
+            [list(r) for r in rows],
+            title="Extension: inter-frame persistence on a refitted "
+            "dynamic scene",
+        ),
+    )
+
+    # Later frames: the warm table predicts at least as much as cold.
+    for frame, cold_p, cold_v, warm_p, warm_v in rows[1:]:
+        assert warm_p >= cold_p - 0.02, rows
+    # And persistence actually helps somewhere.
+    assert any(r[3] > r[1] + 0.02 for r in rows[1:]), rows

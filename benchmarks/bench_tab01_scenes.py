@@ -1,0 +1,48 @@
+"""Table 1: benchmark scene summary.
+
+Paper: seven scenes, 75 K - 1.4 M triangles, BVH depth 22-27, ~4 M AO
+rays each.  Scaled reproduction: the same seven scene *identities* at
+procedural stand-in sizes, with the same relative ordering (BI and CK
+largest) and the Section 5.2 AO ray recipe.
+"""
+
+from repro.analysis.experiments import FULL_WORKLOAD, all_scene_codes
+from repro.analysis.tables import format_table
+from repro.bvh.stats import compute_stats
+
+
+def test_tab01_scene_summary(benchmark, ctx, report):
+    def run():
+        rows = []
+        for code in all_scene_codes():
+            scene = ctx.scene(code)
+            stats = compute_stats(ctx.bvh(code))
+            workload = ctx.workload(code, FULL_WORKLOAD)
+            rows.append(
+                (
+                    scene.name,
+                    code,
+                    scene.num_triangles,
+                    stats.max_depth,
+                    len(workload),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "tab01_scenes",
+        format_table(
+            ["Scene", "Code", "Triangles", "BVH Tree Depth", "AO Rays Traced"],
+            rows,
+            title="Table 1 (scaled): benchmark scenes",
+        ),
+    )
+
+    codes = [r[1] for r in rows]
+    assert codes == ["SB", "SP", "LE", "LR", "FR", "BI", "CK"]
+    tris = {r[1]: r[2] for r in rows}
+    # Relative sizes follow the paper: Bistro and Kitchen are the largest.
+    assert tris["BI"] == max(tris.values())
+    assert all(r[3] >= 10 for r in rows)  # non-trivial trees
+    assert all(r[4] > 10_000 for r in rows)  # tens of thousands of AO rays

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+One memoizing :class:`ExperimentContext` serves the whole session, so a
+scene's baseline simulation is executed once even though several
+tables/figures consume it.  Each benchmark prints its regenerated
+table (visible with ``pytest -s``) and writes it to ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import ExperimentContext
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer: ``report(artifact_id, text)`` persists and echoes a table."""
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def write(artifact_id: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, f"{artifact_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[written to {os.path.relpath(path)}]")
+
+    return write

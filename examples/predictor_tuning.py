@@ -1,0 +1,91 @@
+"""Explore the predictor's design space with the fast functional simulator.
+
+Sweeps the knobs the paper studies - hash tightness (Table 8), Go Up
+Level (Figure 14) and table geometry (Table 6) - using the timing-free
+functional simulation, which is an order of magnitude faster than the
+RT-unit model and reports predicted/verified rates and Equation 1's
+memory-savings decomposition.
+
+Run:
+    python examples/predictor_tuning.py [scene-code]
+"""
+
+import sys
+
+from repro import PredictorConfig, build_bvh, generate_ao_workload, get_scene
+from repro.analysis.tables import format_table
+from repro.core import simulate_predictor
+from repro.core.model import estimate_nodes_skipped, inputs_from_simulation
+
+
+def sweep(bvh, rays, configs, label):
+    rows = []
+    for name, config in configs:
+        result = simulate_predictor(bvh, rays, config, keep_outcomes=True)
+        eq = inputs_from_simulation(result)
+        rows.append(
+            [
+                name,
+                result.predicted_rate,
+                result.verified_rate,
+                result.memory_savings,
+                estimate_nodes_skipped(eq),
+                result.nodes_skipped_per_ray(),
+            ]
+        )
+    print(
+        format_table(
+            [label, "Predicted", "Verified", "Mem savings", "Eq.1 est", "Actual"],
+            rows,
+        )
+    )
+    print()
+
+
+def main() -> None:
+    code = sys.argv[1] if len(sys.argv) > 1 else "LR"
+    scene = get_scene(code)
+    bvh = build_bvh(scene.mesh)
+    rays = generate_ao_workload(scene, bvh, width=48, height=48, spp=4, seed=1).rays
+    print(f"{scene.name}: {scene.num_triangles} triangles, {len(rays)} AO rays\n")
+
+    base = dict(origin_bits=4, direction_bits=3, go_up_level=2, nodes_per_entry=2)
+
+    print("--- Hash tightness (Table 8a's axis) ---")
+    sweep(
+        bvh, rays,
+        [
+            (f"origin={ob}, direction={db}",
+             PredictorConfig(**{**base, "origin_bits": ob, "direction_bits": db}))
+            for ob in (3, 4, 5)
+            for db in (2, 3)
+        ],
+        "Grid Spherical bits",
+    )
+
+    print("--- Go Up Level (Figure 14's axis) ---")
+    sweep(
+        bvh, rays,
+        [
+            (f"level {k}", PredictorConfig(**{**base, "go_up_level": k}))
+            for k in range(6)
+        ],
+        "Go Up Level",
+    )
+
+    print("--- Table geometry (Table 6's axes) ---")
+    sweep(
+        bvh, rays,
+        [
+            (f"{entries} entries x {nodes} node(s)",
+             PredictorConfig(**{**base, "num_entries": entries,
+                                "nodes_per_entry": nodes}))
+            for entries in (512, 1024, 2048)
+            for nodes in (1, 2)
+        ],
+        "Table geometry",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml; this file exists so that editable
+installs work on environments without the `wheel` package (offline
+machines), via ``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

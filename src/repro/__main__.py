@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    scenes            list the benchmark scenes with their statistics
+    quick SCENE       baseline-vs-predictor headline numbers for a scene
+    limit SCENE       run the Figure 2 limit study on a scene
+    report            stitch results/*.txt into a single REPORT.md
+
+The CLI is a thin veneer over the library; the benchmark harness under
+``benchmarks/`` regenerates the paper's full tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import (
+    scaled_gpu_config,
+    scaled_predictor_config,
+)
+from repro.analysis.tables import format_table
+from repro.bvh import build_bvh, compute_stats
+from repro.rays import generate_ao_workload
+from repro.scenes import SCENE_CODES, get_scene
+
+
+def _cmd_scenes(args: argparse.Namespace) -> int:
+    rows = []
+    for code in SCENE_CODES:
+        scene = get_scene(code, detail=args.detail)
+        stats = compute_stats(build_bvh(scene.mesh))
+        rows.append(
+            [code, scene.name, scene.num_triangles, stats.num_nodes,
+             stats.max_depth, f"{stats.total_bytes / 1024:.0f}KB"]
+        )
+    print(format_table(
+        ["Code", "Name", "Triangles", "BVH nodes", "Depth", "Footprint"], rows
+    ))
+    return 0
+
+
+def _cmd_quick(args: argparse.Namespace) -> int:
+    from repro.gpu import simulate_workload
+
+    scene = get_scene(args.scene, detail=args.detail)
+    bvh = build_bvh(scene.mesh)
+    rays = generate_ao_workload(
+        scene, bvh, width=args.size, height=args.size, spp=args.spp, seed=1
+    ).rays
+    baseline = simulate_workload(bvh, rays, scaled_gpu_config())
+    predicted = simulate_workload(
+        bvh, rays, scaled_gpu_config(scaled_predictor_config())
+    )
+    print(f"{scene.name}: {len(rays)} AO rays")
+    print(f"  baseline : {baseline.cycles} cycles")
+    print(f"  predictor: {predicted.cycles} cycles "
+          f"(predicted {predicted.predicted_rate:.0%}, "
+          f"verified {predicted.verified_rate:.0%})")
+    print(f"  speedup  : {baseline.cycles / predicted.cycles:.3f}x")
+    print(f"  accesses : {1 - predicted.total_accesses / baseline.total_accesses:+.1%}")
+    return 0
+
+
+def _cmd_limit(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core import run_limit_study
+
+    scene = get_scene(args.scene, detail=args.detail)
+    bvh = build_bvh(scene.mesh)
+    rays = generate_ao_workload(
+        scene, bvh, width=args.size, height=args.size, spp=args.spp, seed=1
+    ).rays
+    rays = rays.subset(np.arange(min(args.rays, len(rays))))
+    study = run_limit_study(bvh, rays, scaled_predictor_config())
+    rows = [
+        [kind.value, result.verified_rate, result.memory_savings]
+        for kind, result in study.items()
+    ]
+    print(format_table(["Configuration", "Verified", "Memory savings"], rows,
+                       title=f"Limit study: {scene.name} ({len(rays)} rays)"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+
+    write_report(args.results, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to a subcommand."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--detail", type=float, default=1.0,
+                        help="scene triangle-budget multiplier")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenes", help="list benchmark scenes")
+
+    quick = sub.add_parser("quick", help="headline numbers for one scene")
+    quick.add_argument("scene", nargs="?", default="SP")
+    quick.add_argument("--size", type=int, default=48)
+    quick.add_argument("--spp", type=int, default=4)
+
+    limit = sub.add_parser("limit", help="Figure 2 limit study for one scene")
+    limit.add_argument("scene", nargs="?", default="SP")
+    limit.add_argument("--size", type=int, default=32)
+    limit.add_argument("--spp", type=int, default=2)
+    limit.add_argument("--rays", type=int, default=2000)
+
+    report = sub.add_parser("report", help="collect results/ into REPORT.md")
+    report.add_argument("--results", default="results")
+    report.add_argument("--output", default="REPORT.md")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "scenes": _cmd_scenes,
+        "quick": _cmd_quick,
+        "limit": _cmd_limit,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Figure 11: correlating the simulator against a hardware proxy.
+
+The paper validates its RT-unit model by tracing primary and reflection
+rays on seven scenes both in simulation and on an NVIDIA RTX 2080 Ti,
+reporting a rays/s correlation coefficient of 0.9.  Real RT-Core
+hardware is not available here, so we substitute a closed-form
+*hardware proxy*: an analytic rays/s model driven purely by scene and
+tree statistics (triangle count, SAH cost, tree depth), independent of
+the timing simulator's internals.  The experiment then correlates
+simulated rays/s against the proxy's across the same 7 scenes x 2 ray
+types, playing the same validating role: per-scene ordering and spread
+of throughput must track an external model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.experiments import ExperimentContext
+from repro.analysis.stats import pearson_correlation
+from repro.bvh.stats import compute_stats
+from repro.gpu.config import GPUConfig
+from repro.gpu.simulator import simulate_workload
+from repro.rays.camera import PinholeCamera
+from repro.rays.reflection import generate_reflection_rays
+
+#: Proxy throughput scale (rays per "cycle"); only relative values matter.
+_PROXY_SCALE = 40.0
+
+
+@dataclass(frozen=True)
+class CorrelationPoint:
+    """One (scene, ray type) measurement."""
+
+    scene: str
+    ray_type: str
+    simulated_rays_per_cycle: float
+    proxy_rays_per_cycle: float
+
+
+def hardware_proxy_rays_per_cycle(
+    num_triangles: int, sah_cost: float, max_depth: int, incoherent: bool
+) -> float:
+    """Analytic RT-core throughput model.
+
+    Throughput falls with the expected traversal work - proportional to
+    the tree's SAH cost and (weakly) its depth - and incoherent rays
+    (reflections) pay an extra penalty for divergence, as real RT cores
+    do.  Constants are arbitrary; only cross-scene *ratios* matter for
+    the correlation.
+    """
+    if num_triangles <= 0:
+        raise ValueError("num_triangles must be positive")
+    work = sah_cost * (1.0 + 0.05 * max_depth) * (1.0 + 0.1 * math.log10(num_triangles))
+    if incoherent:
+        work *= 1.6
+    return _PROXY_SCALE / work
+
+
+def run_correlation(
+    context: ExperimentContext,
+    scene_codes: List[str],
+    width: int = 48,
+    height: int = 48,
+) -> Tuple[List[CorrelationPoint], float]:
+    """Trace primary + reflection rays per scene; correlate vs the proxy.
+
+    Returns the per-point data and the Pearson correlation coefficient.
+    """
+    points: List[CorrelationPoint] = []
+    for code in scene_codes:
+        scene = context.scene(code)
+        bvh = context.bvh(code)
+        stats = compute_stats(bvh)
+
+        camera = PinholeCamera(scene.camera, width, height)
+        primary = camera.primary_rays()
+        reflection = generate_reflection_rays(scene, bvh, width, height)
+
+        for ray_type, rays, incoherent in (
+            ("primary", primary, False),
+            ("reflection", reflection, True),
+        ):
+            if len(rays) == 0:
+                continue
+            sim = simulate_workload(bvh, rays, GPUConfig())
+            points.append(
+                CorrelationPoint(
+                    scene=code,
+                    ray_type=ray_type,
+                    simulated_rays_per_cycle=sim.rays_per_cycle(),
+                    proxy_rays_per_cycle=hardware_proxy_rays_per_cycle(
+                        stats.num_triangles, stats.sah_cost, stats.max_depth, incoherent
+                    ),
+                )
+            )
+
+    correlation = pearson_correlation(
+        [p.simulated_rays_per_cycle for p in points],
+        [p.proxy_rays_per_cycle for p in points],
+    )
+    return points, correlation

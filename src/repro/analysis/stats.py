@@ -1,0 +1,44 @@
+"""Statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports speedups this way.
+
+    Raises:
+        ValueError: on an empty or non-positive input.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0.0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (Figure 11 reports ~0.9)."""
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0.0 or var_y == 0.0:
+        raise ValueError("zero variance input")
+    return cov / math.sqrt(var_x * var_y)
+
+
+def speedup(baseline_cycles: int, other_cycles: int) -> float:
+    """Speedup of ``other`` over ``baseline`` (>1 means faster)."""
+    if other_cycles <= 0:
+        raise ValueError("cycle counts must be positive")
+    return baseline_cycles / other_cycles

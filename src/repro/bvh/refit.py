@@ -1,0 +1,80 @@
+"""BVH refitting for dynamic scenes.
+
+The paper's conclusion names dynamic scenes and animation as the
+compelling next step for ray prediction: the predictor table stores node
+*indices*, so if the tree's topology is preserved while geometry moves -
+exactly what refitting does - stale predictions degrade gracefully
+instead of breaking.  ``refit_bvh`` updates every node's bounds
+bottom-up for a deformed copy of the original mesh, keeping indices,
+parents and leaf ranges identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bvh.nodes import FlatBVH
+from repro.geometry.triangle import TriangleMesh
+
+
+def refit_bvh(bvh: FlatBVH, mesh: TriangleMesh) -> FlatBVH:
+    """Return a copy of ``bvh`` refitted to a deformed ``mesh``.
+
+    ``mesh`` must contain the same triangles in the same (reordered)
+    order as ``bvh.mesh``; only vertex positions may differ.  The
+    returned tree shares topology (indices, parents, leaf ranges) with
+    the input, so predictor tables trained on the old tree remain
+    index-compatible.
+
+    Raises:
+        ValueError: if the mesh's triangle count differs.
+    """
+    if len(mesh) != bvh.num_triangles:
+        raise ValueError(
+            f"mesh has {len(mesh)} triangles, BVH expects {bvh.num_triangles}"
+        )
+
+    tri_lo = np.minimum(np.minimum(mesh.v0, mesh.v1), mesh.v2)
+    tri_hi = np.maximum(np.maximum(mesh.v0, mesh.v1), mesh.v2)
+
+    lo = bvh.lo.copy()
+    hi = bvh.hi.copy()
+    # Children are always emitted after their parent, so a reverse pass
+    # sees every node's children (or triangles) before the node itself.
+    for node in range(bvh.num_nodes - 1, -1, -1):
+        left = bvh.left[node]
+        if left < 0:
+            start = int(bvh.first_tri[node])
+            stop = start + int(bvh.tri_count[node])
+            lo[node] = tri_lo[start:stop].min(axis=0)
+            hi[node] = tri_hi[start:stop].max(axis=0)
+        else:
+            right = bvh.right[node]
+            lo[node] = np.minimum(lo[left], lo[right])
+            hi[node] = np.maximum(hi[left], hi[right])
+
+    return FlatBVH(
+        lo=lo,
+        hi=hi,
+        left=bvh.left,
+        right=bvh.right,
+        first_tri=bvh.first_tri,
+        tri_count=bvh.tri_count,
+        parent=bvh.parent,
+        mesh=mesh,
+        tri_indices=bvh.tri_indices,
+    )
+
+
+def jitter_mesh(
+    mesh: TriangleMesh, magnitude: float, seed: int = 0
+) -> TriangleMesh:
+    """Deform a mesh by a smooth per-triangle offset (animation stand-in).
+
+    Each triangle translates rigidly by a bounded pseudo-random offset,
+    preserving triangle shapes - the kind of incremental motion a
+    per-frame refit is designed for.
+    """
+    rng = np.random.default_rng(seed)
+    offsets = rng.uniform(-magnitude, magnitude, (len(mesh), 3))
+    return TriangleMesh(mesh.v0 + offsets, mesh.v1 + offsets, mesh.v2 + offsets)

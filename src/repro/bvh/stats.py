@@ -1,0 +1,78 @@
+"""BVH statistics.
+
+Feeds Table 1 (tree depth per scene), the correlation proxy of Figure 11
+(rays/s tracks tree quality), and DESIGN.md's working-set arguments (the
+node buffer must exceed the L1 for Figure 1's motivation to hold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bvh.nodes import NODE_SIZE_BYTES, TRIANGLE_SIZE_BYTES, FlatBVH
+from repro.geometry.aabb import aabb_surface_area
+
+
+@dataclass(frozen=True)
+class BVHStats:
+    """Summary statistics of a built BVH."""
+
+    num_nodes: int
+    num_interior: int
+    num_leaves: int
+    num_triangles: int
+    max_depth: int
+    avg_leaf_depth: float
+    avg_tris_per_leaf: float
+    max_tris_per_leaf: int
+    sah_cost: float
+    node_bytes: int
+    triangle_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total simulated memory footprint (nodes + triangles)."""
+        return self.node_bytes + self.triangle_bytes
+
+
+def compute_stats(bvh: FlatBVH) -> BVHStats:
+    """Compute :class:`BVHStats` for ``bvh``.
+
+    The SAH cost is the classic estimate: sum over nodes of
+    ``SA(node) / SA(root)`` weighted by 1 for interior nodes and by the
+    triangle count for leaves.
+    """
+    leaves = bvh.leaf_nodes()
+    interior = bvh.interior_nodes()
+    depths = bvh.depths()
+    root_area = aabb_surface_area(tuple(bvh.lo[0]), tuple(bvh.hi[0]))
+
+    areas = 2.0 * _half_areas(bvh.hi - bvh.lo)
+    if root_area > 0.0:
+        rel = areas / root_area
+        sah = float(rel[interior].sum() + (rel[leaves] * bvh.tri_count[leaves]).sum())
+    else:
+        sah = float("nan")
+
+    leaf_counts = bvh.tri_count[leaves]
+    return BVHStats(
+        num_nodes=bvh.num_nodes,
+        num_interior=int(interior.size),
+        num_leaves=int(leaves.size),
+        num_triangles=bvh.num_triangles,
+        max_depth=bvh.max_depth(),
+        avg_leaf_depth=float(depths[leaves].mean()) if leaves.size else 0.0,
+        avg_tris_per_leaf=float(leaf_counts.mean()) if leaves.size else 0.0,
+        max_tris_per_leaf=int(leaf_counts.max()) if leaves.size else 0,
+        sah_cost=sah,
+        node_bytes=NODE_SIZE_BYTES * bvh.num_nodes,
+        triangle_bytes=TRIANGLE_SIZE_BYTES * bvh.num_triangles,
+    )
+
+
+def _half_areas(extent: np.ndarray) -> np.ndarray:
+    """Half surface areas for an ``(n, 3)`` array of box extents."""
+    ex, ey, ez = extent[:, 0], extent[:, 1], extent[:, 2]
+    return ex * ey + ey * ez + ez * ex

@@ -1,0 +1,95 @@
+"""Structural validation of a :class:`FlatBVH`.
+
+Used by tests and by :func:`repro.bvh.build_bvh` callers that want a
+hard guarantee before running long experiments.  Validation checks the
+invariants traversal and the predictor rely on:
+
+* node 0 is the root and every other node has a consistent parent link;
+* interior nodes have exactly two children and bound them;
+* leaves partition the triangle range exactly once;
+* every triangle's AABB is contained in its leaf's AABB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bvh.nodes import FlatBVH
+
+
+class BVHValidationError(AssertionError):
+    """Raised when a BVH violates a structural invariant."""
+
+
+def validate_bvh(bvh: FlatBVH, eps: float = 1e-9) -> None:
+    """Check all structural invariants of ``bvh``.
+
+    Raises:
+        BVHValidationError: on the first violated invariant.
+    """
+    n = bvh.num_nodes
+    if n == 0:
+        raise BVHValidationError("BVH has no nodes")
+    if bvh.parent[0] != -1:
+        raise BVHValidationError("node 0 must be the root (parent == -1)")
+
+    seen_children = np.zeros(n, dtype=bool)
+    covered = np.zeros(bvh.num_triangles, dtype=np.int64)
+    for node in range(n):
+        lo = bvh.lo[node]
+        hi = bvh.hi[node]
+        if np.any(lo > hi + eps):
+            raise BVHValidationError(f"node {node} has inverted bounds")
+        if bvh.is_leaf(node):
+            start = int(bvh.first_tri[node])
+            count = int(bvh.tri_count[node])
+            if count <= 0:
+                raise BVHValidationError(f"leaf {node} holds no triangles")
+            if start < 0 or start + count > bvh.num_triangles:
+                raise BVHValidationError(f"leaf {node} triangle range out of bounds")
+            covered[start : start + count] += 1
+            tri_slice = slice(start, start + count)
+            tri_lo = np.minimum(
+                np.minimum(bvh.mesh.v0[tri_slice], bvh.mesh.v1[tri_slice]),
+                bvh.mesh.v2[tri_slice],
+            )
+            tri_hi = np.maximum(
+                np.maximum(bvh.mesh.v0[tri_slice], bvh.mesh.v1[tri_slice]),
+                bvh.mesh.v2[tri_slice],
+            )
+            if np.any(tri_lo < lo - eps) or np.any(tri_hi > hi + eps):
+                raise BVHValidationError(f"leaf {node} does not bound its triangles")
+        else:
+            left = int(bvh.left[node])
+            right = int(bvh.right[node])
+            for child in (left, right):
+                if child <= node or child >= n:
+                    raise BVHValidationError(
+                        f"node {node} has invalid child index {child}"
+                    )
+                if seen_children[child]:
+                    raise BVHValidationError(f"node {child} has two parents")
+                seen_children[child] = True
+                if bvh.parent[child] != node:
+                    raise BVHValidationError(
+                        f"child {child} parent link does not point to {node}"
+                    )
+                if np.any(bvh.lo[child] < lo - eps) or np.any(bvh.hi[child] > hi + eps):
+                    raise BVHValidationError(
+                        f"node {node} does not bound child {child}"
+                    )
+
+    if np.any(covered != 1):
+        bad = int(np.nonzero(covered != 1)[0][0])
+        raise BVHValidationError(
+            f"triangle {bad} referenced {int(covered[bad])} times (expected once)"
+        )
+    orphans = np.nonzero(~seen_children)[0]
+    orphans = orphans[orphans != 0]
+    if orphans.size:
+        raise BVHValidationError(f"node {int(orphans[0])} is unreachable")
+
+    # The permutation must be a bijection over the original triangles.
+    perm = np.sort(bvh.tri_indices)
+    if not np.array_equal(perm, np.arange(bvh.num_triangles)):
+        raise BVHValidationError("tri_indices is not a permutation")

@@ -1,0 +1,64 @@
+"""The ray intersection predictor - the paper's primary contribution.
+
+Contents map one-to-one onto Sections 3 and 4 of the paper:
+
+* :mod:`repro.core.hashing` - Grid Spherical and Two Point ray hashes
+  with gshare-style folding (Section 4.2, Figure 6).
+* :mod:`repro.core.table` - the per-SM set-associative predictor table
+  (Section 4.1, Figure 5).
+* :mod:`repro.core.policies` - node replacement policies for multi-node
+  entries (LRU / LFU / LRU-K, Section 6.1.3).
+* :mod:`repro.core.predictor` - the predictor proper, including Go Up
+  Level training (Section 4.3, Figure 7).
+* :mod:`repro.core.simulate` - functional (timing-free) simulation of
+  predict -> verify -> fallback with a delayed-update concurrency model.
+* :mod:`repro.core.oracle` - the limit-study oracles OL / OT / OU
+  (Section 6.3, Figure 2).
+* :mod:`repro.core.model` - the Equation 1 analytic node-savings model.
+* :mod:`repro.core.repacking` - the partial warp collector and warp
+  repacking (Section 4.4, Figures 9 and 10).
+* :mod:`repro.core.adaptive` - the tournament multi-hash predictor,
+  implementing Section 4.2's "combining multiple hash functions" future
+  work.
+"""
+
+from repro.core.adaptive import TournamentPredictor
+from repro.core.hashing import (
+    GridSphericalHash,
+    TwoPointHash,
+    fold_hash,
+    make_hasher,
+)
+from repro.core.model import Equation1Inputs, estimate_nodes_skipped, estimate_avg_nodes
+from repro.core.oracle import OracleKind, run_limit_study
+from repro.core.policies import LFUPolicy, LRUKPolicy, LRUPolicy, make_node_policy
+from repro.core.predictor import PredictorConfig, RayPredictor
+from repro.core.repacking import PartialWarpCollector, repack_rays
+from repro.core.simulate import PredictionOutcome, SimulationResult, simulate_predictor
+from repro.core.table import PredictorTable, TableStats
+
+__all__ = [
+    "Equation1Inputs",
+    "GridSphericalHash",
+    "LFUPolicy",
+    "LRUKPolicy",
+    "LRUPolicy",
+    "OracleKind",
+    "PartialWarpCollector",
+    "PredictionOutcome",
+    "PredictorConfig",
+    "PredictorTable",
+    "RayPredictor",
+    "SimulationResult",
+    "TableStats",
+    "TournamentPredictor",
+    "TwoPointHash",
+    "estimate_avg_nodes",
+    "estimate_nodes_skipped",
+    "fold_hash",
+    "make_hasher",
+    "make_node_policy",
+    "repack_rays",
+    "run_limit_study",
+    "simulate_predictor",
+]

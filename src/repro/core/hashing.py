@@ -1,0 +1,203 @@
+"""Ray hashing schemes (Section 4.2).
+
+The predictor's key insight is that *similar* rays - similar origins and
+directions - should collide in the predictor table ("constructive
+aliasing"), while dissimilar rays should not.  Two hash functions are
+evaluated in the paper:
+
+* **Grid Spherical** (Figure 6a): quantize the origin on a ``2^n`` grid
+  over the scene bounding box (the *Grid Hash*), quantize the direction
+  in spherical coordinates (``m`` bits of theta, ``m+1`` bits of phi),
+  and xor the two.
+* **Two Point** (Figure 6b): Grid-Hash the origin and an estimated target
+  point ``t = o + r * l * d`` (``l`` = longest scene-box edge, ``r`` a
+  fixed length ratio), and xor the two grid hashes.
+
+Hashes wider than the table index are folded by splitting into
+index-width chunks and xor-ing them, like the gshare branch predictor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+
+
+def fold_hash(value: int, in_bits: int, out_bits: int) -> int:
+    """Fold an ``in_bits``-wide hash to ``out_bits`` by xor-ing chunks.
+
+    Mirrors the gshare-style folding of Section 4.1: the hash is split
+    into ``ceil(in_bits / out_bits)`` components combined with xor.
+    """
+    if out_bits <= 0:
+        raise ValueError("out_bits must be positive")
+    if in_bits <= out_bits:
+        return value & ((1 << out_bits) - 1)
+    mask = (1 << out_bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= out_bits
+    return folded
+
+
+def quantize(value: float, lo: float, hi: float, bits: int) -> int:
+    """Map ``value`` in ``[lo, hi]`` to an integer in ``[0, 2^bits)``."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    span = hi - lo
+    if span <= 0.0:
+        return 0
+    cells = (1 << bits) - 1
+    q = int((value - lo) / span * (cells + 1))
+    return min(max(q, 0), cells)
+
+
+def grid_hash(
+    point: Sequence[float], lo: Sequence[float], hi: Sequence[float], bits: int
+) -> int:
+    """The Grid Hash block: quantize each axis and concatenate (3*bits wide)."""
+    qx = quantize(point[0], lo[0], hi[0], bits)
+    qy = quantize(point[1], lo[1], hi[1], bits)
+    qz = quantize(point[2], lo[2], hi[2], bits)
+    return (qx << (2 * bits)) | (qy << bits) | qz
+
+
+class RayHasher(Protocol):
+    """Interface for ray hash functions consumed by the predictor."""
+
+    #: Width of the produced hash in bits.
+    bits: int
+
+    def hash_ray(self, origin: Sequence[float], direction: Sequence[float]) -> int:
+        """Hash one ray."""
+
+    def hash_batch(self, origins: np.ndarray, directions: np.ndarray) -> np.ndarray:
+        """Hash ``n`` rays at once (uint64 array)."""
+
+
+class GridSphericalHash:
+    """Grid Spherical hash (Figure 6a).
+
+    The origin contributes ``3 * origin_bits`` bits via the Grid Hash;
+    the direction contributes ``2 * direction_bits + 1`` bits (the most
+    significant ``m`` bits of integer theta in [0, 180) and ``m+1`` bits
+    of integer phi in [0, 360)), xor-ed into the origin hash.  The final
+    hash is ``3 * origin_bits`` wide (15 bits at the paper's 5/3 setting).
+    """
+
+    def __init__(self, scene_aabb: AABB, origin_bits: int = 5, direction_bits: int = 3):
+        if origin_bits < 1 or direction_bits < 1:
+            raise ValueError("origin_bits and direction_bits must be >= 1")
+        if direction_bits > 7:
+            raise ValueError("direction_bits must be <= 7 (theta is an 8-bit integer)")
+        self.origin_bits = origin_bits
+        self.direction_bits = direction_bits
+        self.bits = 3 * origin_bits
+        self._lo = scene_aabb.lo
+        self._hi = scene_aabb.hi
+
+    def hash_ray(self, origin: Sequence[float], direction: Sequence[float]) -> int:
+        """Hash one ray (see class docstring for the bit layout)."""
+        origin_hash = grid_hash(origin, self._lo, self._hi, self.origin_bits)
+
+        dx, dy, dz = direction[0], direction[1], direction[2]
+        # Spherical coordinates of the (normalized) direction.
+        theta = math.degrees(math.acos(max(-1.0, min(1.0, dy))))  # [0, 180]
+        phi = math.degrees(math.atan2(dz, dx)) % 360.0  # [0, 360)
+        theta_int = min(int(theta), 179)
+        phi_int = min(int(phi), 359)
+        m = self.direction_bits
+        theta_bits = (theta_int >> (8 - m)) & ((1 << m) - 1)
+        phi_bits = (phi_int >> (9 - (m + 1))) & ((1 << (m + 1)) - 1)
+        direction_hash = (theta_bits << (m + 1)) | phi_bits
+
+        return origin_hash ^ direction_hash
+
+    def hash_batch(self, origins: np.ndarray, directions: np.ndarray) -> np.ndarray:
+        """Vectorized hash of a whole ray batch."""
+        origin_hash = _grid_hash_batch(origins, self._lo, self._hi, self.origin_bits)
+
+        dy = np.clip(directions[:, 1], -1.0, 1.0)
+        theta = np.degrees(np.arccos(dy))
+        phi = np.degrees(np.arctan2(directions[:, 2], directions[:, 0])) % 360.0
+        theta_int = np.minimum(theta.astype(np.uint64), 179)
+        phi_int = np.minimum(phi.astype(np.uint64), 359)
+        m = self.direction_bits
+        theta_bits = (theta_int >> np.uint64(8 - m)) & np.uint64((1 << m) - 1)
+        phi_bits = (phi_int >> np.uint64(9 - (m + 1))) & np.uint64((1 << (m + 1)) - 1)
+        direction_hash = (theta_bits << np.uint64(m + 1)) | phi_bits
+        return origin_hash ^ direction_hash
+
+
+class TwoPointHash:
+    """Two Point hash (Figure 6b).
+
+    Hashes the origin and the estimated target point
+    ``t = o + r * l * d`` through the Grid Hash block and xors them.
+    ``l`` is the maximum extent of the scene bounding box and ``r`` the
+    fixed estimated length ratio (paper sweeps 0.05-0.35, Table 8b).
+    """
+
+    def __init__(self, scene_aabb: AABB, origin_bits: int = 5, length_ratio: float = 0.15):
+        if origin_bits < 1:
+            raise ValueError("origin_bits must be >= 1")
+        if length_ratio <= 0.0:
+            raise ValueError("length_ratio must be positive")
+        self.origin_bits = origin_bits
+        self.length_ratio = length_ratio
+        self.bits = 3 * origin_bits
+        self._lo = scene_aabb.lo
+        self._hi = scene_aabb.hi
+        self._reach = length_ratio * scene_aabb.max_extent()
+
+    def hash_ray(self, origin: Sequence[float], direction: Sequence[float]) -> int:
+        """Hash one ray (origin xor estimated-target grid hashes)."""
+        origin_hash = grid_hash(origin, self._lo, self._hi, self.origin_bits)
+        target = (
+            origin[0] + self._reach * direction[0],
+            origin[1] + self._reach * direction[1],
+            origin[2] + self._reach * direction[2],
+        )
+        target_hash = grid_hash(target, self._lo, self._hi, self.origin_bits)
+        return origin_hash ^ target_hash
+
+    def hash_batch(self, origins: np.ndarray, directions: np.ndarray) -> np.ndarray:
+        """Vectorized hash of a whole ray batch."""
+        origin_hash = _grid_hash_batch(origins, self._lo, self._hi, self.origin_bits)
+        targets = origins + self._reach * directions
+        target_hash = _grid_hash_batch(targets, self._lo, self._hi, self.origin_bits)
+        return origin_hash ^ target_hash
+
+
+def _grid_hash_batch(
+    points: np.ndarray, lo: Sequence[float], hi: Sequence[float], bits: int
+) -> np.ndarray:
+    """Vectorized Grid Hash block."""
+    lo_arr = np.asarray(lo, dtype=np.float64)
+    hi_arr = np.asarray(hi, dtype=np.float64)
+    span = np.where(hi_arr > lo_arr, hi_arr - lo_arr, 1.0)
+    cells = (1 << bits) - 1
+    q = ((points - lo_arr) / span * (cells + 1)).astype(np.int64)
+    q = np.clip(q, 0, cells).astype(np.uint64)
+    b = np.uint64(bits)
+    return (q[:, 0] << (b + b)) | (q[:, 1] << b) | q[:, 2]
+
+
+def make_hasher(
+    kind: str,
+    scene_aabb: AABB,
+    origin_bits: int = 5,
+    direction_bits: int = 3,
+    length_ratio: float = 0.15,
+) -> RayHasher:
+    """Construct a hasher by name (``"grid_spherical"`` or ``"two_point"``)."""
+    if kind == "grid_spherical":
+        return GridSphericalHash(scene_aabb, origin_bits, direction_bits)
+    if kind == "two_point":
+        return TwoPointHash(scene_aabb, origin_bits, length_ratio)
+    raise ValueError(f"unknown hash kind: {kind!r}")

@@ -1,0 +1,73 @@
+"""Equation 1: the analytic node-savings model (Section 3).
+
+With ``p`` the predicted fraction, ``v`` the verified fraction, ``n`` the
+average nodes fetched by a full traversal, ``k`` the predictions
+evaluated per predicted ray and ``m`` the nodes fetched per evaluated
+prediction, the average nodes traversed per ray is
+
+    N = (1 - p) n + v k m + (p - v)(k m + n) = n + p k m - v n
+
+so the expected per-ray saving is ``n - N = v n - p k m``.  Table 5
+compares this estimate against the measured reduction; this module
+provides both directions (estimate from parameters, and parameter
+extraction from a :class:`~repro.core.simulate.SimulationResult`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.simulate import SimulationResult
+
+
+@dataclass(frozen=True)
+class Equation1Inputs:
+    """The five parameters of Equation 1."""
+
+    p: float  # predicted fraction of rays
+    v: float  # verified fraction of rays
+    n: float  # nodes fetched by an average full traversal
+    k: float  # predictions evaluated per predicted ray
+    m: float  # nodes fetched per evaluated prediction
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.v <= self.p <= 1.0:
+            raise ValueError("need 0 <= v <= p <= 1")
+        if self.n < 0.0 or self.k < 0.0 or self.m < 0.0:
+            raise ValueError("n, k, m must be non-negative")
+
+
+def estimate_avg_nodes(inputs: Equation1Inputs) -> float:
+    """``N = n + p k m - v n``: expected nodes fetched per ray."""
+    return inputs.n + inputs.p * inputs.k * inputs.m - inputs.v * inputs.n
+
+
+def estimate_nodes_skipped(inputs: Equation1Inputs) -> float:
+    """``n - N = v n - p k m``: expected nodes skipped per ray."""
+    return inputs.v * inputs.n - inputs.p * inputs.k * inputs.m
+
+
+def inputs_from_simulation(result: SimulationResult) -> Equation1Inputs:
+    """Extract measured (p, v, n, k, m) from a functional simulation.
+
+    ``k`` averages the slots actually evaluated per predicted ray; ``m``
+    averages node fetches per evaluated prediction, matching the paper's
+    definitions for Table 5.
+    """
+    if result.outcomes is None:
+        raise ValueError("simulation must be run with keep_outcomes=True")
+    n_rays = max(1, result.num_rays)
+    p = result.predicted / n_rays
+    v = result.verified / n_rays
+    n = result.baseline_node_fetches / n_rays
+
+    predicted = [o for o in result.outcomes if o.predicted]
+    if predicted:
+        total_slots = sum(o.predicted_nodes for o in predicted)
+        k = total_slots / len(predicted)
+        total_verify_nodes = sum(o.verify_node_fetches for o in predicted)
+        m = total_verify_nodes / total_slots if total_slots else 0.0
+    else:
+        k = 0.0
+        m = 0.0
+    return Equation1Inputs(p=p, v=v, n=n, k=k, m=m)

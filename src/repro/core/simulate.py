@@ -1,0 +1,247 @@
+"""Functional (timing-free) simulation of the predictor algorithm.
+
+Implements the Section 3 flow for a stream of occlusion rays:
+
+1. hash the ray and look up the predictor table;
+2. on a hit, *verify* by traversing only the predicted subtree(s);
+3. a verified ray is done (interior nodes skipped); a mispredicted ray
+   restarts with a full traversal from the root;
+4. rays that found an intersection train the table with the Go Up Level
+   ancestor of the hit leaf.
+
+Concurrency matters: a real RT unit has ~256 rays in flight, so a ray's
+table update is not visible to rays that looked up the table while it was
+still traversing.  We model this with an ``in_flight`` window: lookups of
+a window happen before any update from the same window commits.  This is
+exactly why *sorted* rays benefit less (Figure 12): sorting packs similar
+rays into the same window, where they cannot train one another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.bvh.nodes import FlatBVH
+from repro.core.predictor import PredictorConfig, RayPredictor
+from repro.geometry.ray import RayBatch
+from repro.trace.counters import TraversalStats
+from repro.trace.traversal import occlusion_any_hit_tri
+
+#: Ray-buffer capacity of the baseline RT unit (8 warps x 32 threads).
+DEFAULT_IN_FLIGHT = 256
+
+
+@dataclass
+class PredictionOutcome:
+    """Per-ray record of what the predictor did.
+
+    Attributes:
+        predicted: the table lookup hit.
+        verified: the predicted subtree contained an intersection.
+        hit: the ray intersects the scene (by any path).
+        predicted_nodes: how many node slots the prediction contained.
+        verify_node_fetches / verify_tri_fetches: traffic of the
+            verification traversal (zero if not predicted).
+        full_node_fetches / full_tri_fetches: traffic of the full
+            traversal (zero if verified - that is the whole point).
+    """
+
+    predicted: bool = False
+    verified: bool = False
+    hit: bool = False
+    predicted_nodes: int = 0
+    verify_node_fetches: int = 0
+    verify_tri_fetches: int = 0
+    full_node_fetches: int = 0
+    full_tri_fetches: int = 0
+
+    @property
+    def node_fetches(self) -> int:
+        """Total node fetches this ray caused under the predictor."""
+        return self.verify_node_fetches + self.full_node_fetches
+
+    @property
+    def tri_fetches(self) -> int:
+        """Total triangle fetches this ray caused under the predictor."""
+        return self.verify_tri_fetches + self.full_tri_fetches
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated functional-simulation result for one ray stream."""
+
+    num_rays: int
+    predicted: int
+    verified: int
+    hits: int
+    predictor_node_fetches: int
+    predictor_tri_fetches: int
+    baseline_node_fetches: int
+    baseline_tri_fetches: int
+    misprediction_node_fetches: int
+    misprediction_tri_fetches: int
+    table_lookups: int
+    table_updates: int
+    outcomes: Optional[List[PredictionOutcome]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def predicted_rate(self) -> float:
+        """p: fraction of rays with a table hit."""
+        return self.predicted / self.num_rays if self.num_rays else 0.0
+
+    @property
+    def verified_rate(self) -> float:
+        """v: fraction of rays whose prediction verified."""
+        return self.verified / self.num_rays if self.num_rays else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of rays that intersect the scene at all."""
+        return self.hits / self.num_rays if self.num_rays else 0.0
+
+    @property
+    def baseline_accesses(self) -> int:
+        """Memory accesses of the no-predictor baseline."""
+        return self.baseline_node_fetches + self.baseline_tri_fetches
+
+    @property
+    def predictor_accesses(self) -> int:
+        """Memory accesses with the predictor enabled."""
+        return self.predictor_node_fetches + self.predictor_tri_fetches
+
+    @property
+    def memory_savings(self) -> float:
+        """Net fraction of memory accesses removed by the predictor."""
+        if not self.baseline_accesses:
+            return 0.0
+        return 1.0 - self.predictor_accesses / self.baseline_accesses
+
+    @property
+    def node_savings(self) -> float:
+        """Fraction of BVH-node fetches removed (Figure 13's biggest bar)."""
+        if not self.baseline_node_fetches:
+            return 0.0
+        return 1.0 - self.predictor_node_fetches / self.baseline_node_fetches
+
+    def nodes_skipped_per_ray(self) -> float:
+        """Measured ``n - N`` of Equation 1 (node fetches only)."""
+        if not self.num_rays:
+            return 0.0
+        return (self.baseline_node_fetches - self.predictor_node_fetches) / self.num_rays
+
+
+def simulate_predictor(
+    bvh: FlatBVH,
+    rays: RayBatch,
+    config: Optional[PredictorConfig] = None,
+    in_flight: int = DEFAULT_IN_FLIGHT,
+    keep_outcomes: bool = False,
+    predictor: Optional[RayPredictor] = None,
+) -> SimulationResult:
+    """Run the functional predictor simulation over ``rays`` in order.
+
+    Args:
+        bvh: acceleration structure.
+        rays: occlusion rays, traced in batch order.
+        config: predictor configuration (Table 3 defaults).
+        in_flight: concurrency window for delayed table updates; 1 makes
+            updates immediately visible (the OU idealization).
+        keep_outcomes: retain the per-ray :class:`PredictionOutcome` list
+            (needed by the repacking analysis and some tests).
+        predictor: reuse an existing (already warmed) predictor instead
+            of building a fresh one - used by the multi-SM experiment.
+
+    Returns:
+        A :class:`SimulationResult`; baseline counters come from full
+        traversals of the same rays, so ``memory_savings`` is exact.
+    """
+    if in_flight < 1:
+        raise ValueError("in_flight must be >= 1")
+    pred = predictor if predictor is not None else RayPredictor(bvh, config)
+    hashes = pred.hash_batch(rays.origins, rays.directions)
+
+    outcomes: List[PredictionOutcome] = []
+    baseline_nodes = 0
+    baseline_tris = 0
+    mis_nodes = 0
+    mis_tris = 0
+
+    n = len(rays)
+    for start in range(0, n, in_flight):
+        stop = min(start + in_flight, n)
+        pending: List[Tuple[int, int]] = []
+        for i in range(start, stop):
+            ray = rays[i]
+            ray_hash = int(hashes[i])
+            outcome = PredictionOutcome()
+            nodes = pred.predict(ray_hash)
+
+            hit_tri = -1
+            if nodes:
+                outcome.predicted = True
+                outcome.predicted_nodes = len(nodes)
+                verify_stats = TraversalStats()
+                hit_tri = occlusion_any_hit_tri(
+                    bvh, ray, stats=verify_stats, start_nodes=nodes
+                )
+                outcome.verify_node_fetches = verify_stats.node_fetches
+                outcome.verify_tri_fetches = verify_stats.tri_fetches
+                if hit_tri >= 0:
+                    outcome.verified = True
+                    # Policy feedback: this stored node was useful.
+                    pred.confirm(ray_hash, pred.trained_node_for(hit_tri))
+
+            if not outcome.verified:
+                full_stats = TraversalStats()
+                hit_tri = occlusion_any_hit_tri(bvh, ray, stats=full_stats)
+                outcome.full_node_fetches = full_stats.node_fetches
+                outcome.full_tri_fetches = full_stats.tri_fetches
+                if outcome.predicted:
+                    mis_nodes += outcome.verify_node_fetches
+                    mis_tris += outcome.verify_tri_fetches
+
+            outcome.hit = hit_tri >= 0
+            if outcome.hit:
+                pending.append((ray_hash, hit_tri))
+
+            # Baseline bookkeeping: for verified rays the full traversal
+            # never ran, so measure it separately (oracle-free baseline).
+            if outcome.verified:
+                base_stats = TraversalStats()
+                occlusion_any_hit_tri(bvh, ray, stats=base_stats)
+                baseline_nodes += base_stats.node_fetches
+                baseline_tris += base_stats.tri_fetches
+            else:
+                baseline_nodes += outcome.full_node_fetches
+                baseline_tris += outcome.full_tri_fetches
+
+            outcomes.append(outcome)
+
+        # Updates from this window commit only after the window drains.
+        for ray_hash, hit_tri in pending:
+            pred.train(ray_hash, hit_tri)
+
+    predicted = sum(1 for o in outcomes if o.predicted)
+    verified = sum(1 for o in outcomes if o.verified)
+    hits = sum(1 for o in outcomes if o.hit)
+    return SimulationResult(
+        num_rays=n,
+        predicted=predicted,
+        verified=verified,
+        hits=hits,
+        predictor_node_fetches=sum(o.node_fetches for o in outcomes),
+        predictor_tri_fetches=sum(o.tri_fetches for o in outcomes),
+        baseline_node_fetches=baseline_nodes,
+        baseline_tri_fetches=baseline_tris,
+        misprediction_node_fetches=mis_nodes,
+        misprediction_tri_fetches=mis_tris,
+        # One lookup per ray; one update per hitting ray (this also holds
+        # for alternative predictors like the tournament extension).
+        table_lookups=n,
+        table_updates=hits,
+        outcomes=outcomes if keep_outcomes else None,
+    )

@@ -1,0 +1,183 @@
+"""The per-SM predictor table (Section 4.1, Figure 5).
+
+A set-associative table of predictor entries.  Each entry holds a valid
+bit, a ray-hash tag, and one or more predicted-node slots (27-bit BVH
+node indices in hardware).  The ray hash indexes the table (folded to
+the index width) and the full hash is compared against the stored tags;
+entry replacement within a set is LRU, node replacement within an entry
+is pluggable (Section 6.1.3).
+
+At the paper's best configuration - 1024 entries, 4-way, 1 node/entry,
+15-bit tags - the table costs 1024 * (1 + 15 + 27) bits = 5.5 KB per SM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.hashing import fold_hash
+from repro.core.policies import NodeReplacementPolicy, make_node_policy
+
+#: Bits per stored node index (2^27 nodes = at least 67M triangles).
+NODE_INDEX_BITS = 27
+#: The valid bit per entry.
+VALID_BITS = 1
+
+
+@dataclass
+class TableStats:
+    """Counters for predictor-table traffic."""
+
+    lookups: int = 0
+    hits: int = 0
+    updates: int = 0
+    entry_evictions: int = 0
+    node_evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that matched an entry (the predicted rate)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _Entry:
+    """One predictor entry: tag + node slots managed by a policy."""
+
+    __slots__ = ("tag", "policy")
+
+    def __init__(self, tag: int, policy: NodeReplacementPolicy) -> None:
+        self.tag = tag
+        self.policy = policy
+
+
+class PredictorTable:
+    """Set-associative table mapping ray hashes to predicted BVH nodes."""
+
+    def __init__(
+        self,
+        num_entries: int = 1024,
+        ways: int = 4,
+        nodes_per_entry: int = 1,
+        hash_bits: int = 15,
+        node_policy: str = "lru",
+        node_policy_kwargs: Optional[dict] = None,
+    ) -> None:
+        if num_entries < 1 or ways < 1:
+            raise ValueError("num_entries and ways must be >= 1")
+        if num_entries % ways != 0:
+            raise ValueError("num_entries must be divisible by ways")
+        num_sets = num_entries // ways
+        if num_sets & (num_sets - 1):
+            raise ValueError("num_entries / ways must be a power of two")
+        self.num_entries = num_entries
+        self.ways = ways
+        self.nodes_per_entry = nodes_per_entry
+        self.hash_bits = hash_bits
+        self.num_sets = num_sets
+        self.index_bits = num_sets.bit_length() - 1
+        self.node_policy = node_policy
+        self._node_policy_kwargs = dict(node_policy_kwargs or {})
+        # Each set is an LRU-ordered list of entries (front = LRU victim).
+        self._sets: List[List[_Entry]] = [[] for _ in range(num_sets)]
+        self.stats = TableStats()
+
+    # ------------------------------------------------------------------
+    def _index_and_tag(self, ray_hash: int) -> tuple[int, int]:
+        """Fold the hash to a set index; the tag is the full-width hash."""
+        tag = ray_hash & ((1 << self.hash_bits) - 1)
+        if self.index_bits == 0:
+            return 0, tag
+        index = fold_hash(tag, self.hash_bits, self.index_bits)
+        return index, tag
+
+    def _find(self, bucket: List[_Entry], tag: int) -> Optional[_Entry]:
+        for entry in bucket:
+            if entry.tag == tag:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    def lookup(self, ray_hash: int) -> Optional[List[int]]:
+        """Look a ray hash up; returns the predicted nodes or ``None``.
+
+        A hit refreshes the entry's LRU position (the entry was useful
+        enough to consult; whether it verifies is reported separately via
+        :meth:`confirm`).
+        """
+        self.stats.lookups += 1
+        index, tag = self._index_and_tag(ray_hash)
+        bucket = self._sets[index]
+        entry = self._find(bucket, tag)
+        if entry is None:
+            return None
+        self.stats.hits += 1
+        bucket.remove(entry)
+        bucket.append(entry)
+        return entry.policy.nodes
+
+    def peek(self, ray_hash: int) -> Optional[List[int]]:
+        """Probe without touching LRU state or statistics."""
+        index, tag = self._index_and_tag(ray_hash)
+        entry = self._find(self._sets[index], tag)
+        return entry.policy.nodes if entry is not None else None
+
+    def confirm(self, ray_hash: int, node: int) -> None:
+        """Record that ``node`` from this entry verified a ray (policy use)."""
+        index, tag = self._index_and_tag(ray_hash)
+        entry = self._find(self._sets[index], tag)
+        if entry is not None:
+            entry.policy.touch(node)
+
+    def update(self, ray_hash: int, node: int) -> None:
+        """Insert a traversal result: the ray hashed to ``ray_hash`` and
+        intersected (the Go Up Level ancestor) ``node``.
+
+        Allocates an entry on miss (evicting the set's LRU entry if the
+        set is full) and inserts the node per the node policy.
+        """
+        self.stats.updates += 1
+        index, tag = self._index_and_tag(ray_hash)
+        bucket = self._sets[index]
+        entry = self._find(bucket, tag)
+        if entry is None:
+            if len(bucket) >= self.ways:
+                bucket.pop(0)
+                self.stats.entry_evictions += 1
+            policy = make_node_policy(
+                self.node_policy, self.nodes_per_entry, **self._node_policy_kwargs
+            )
+            entry = _Entry(tag, policy)
+            bucket.append(entry)
+        else:
+            bucket.remove(entry)
+            bucket.append(entry)
+        if entry.policy.insert(node) is not None:
+            self.stats.node_evictions += 1
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> float:
+        """Fraction of entries currently valid."""
+        used = sum(len(bucket) for bucket in self._sets)
+        return used / self.num_entries
+
+    def iter_nodes(self) -> List[int]:
+        """All node indices currently stored (for oracle-lookup scans)."""
+        nodes: List[int] = []
+        for bucket in self._sets:
+            for entry in bucket:
+                nodes.extend(entry.policy.nodes)
+        return nodes
+
+    def size_bits(self) -> int:
+        """Storage cost in bits (valid + tag + node slots, per entry)."""
+        per_entry = VALID_BITS + self.hash_bits + self.nodes_per_entry * NODE_INDEX_BITS
+        return self.num_entries * per_entry
+
+    def size_kib(self) -> float:
+        """Storage cost in KiB (the paper quotes 5.5 KB for the default)."""
+        return self.size_bits() / 8.0 / 1024.0
+
+    def clear(self) -> None:
+        """Invalidate every entry (start of a new frame)."""
+        self._sets = [[] for _ in range(self.num_sets)]

@@ -1,0 +1,19 @@
+"""Energy model (Section 5, Table 4).
+
+The paper estimates energy with GPUWattch for the GPU core plus CACTI 7
+(45 nm) for the SRAM structures it adds: the predictor table, traversal
+stacks, ray buffer and partial warp collector, with intersection tests
+costed as adders and multipliers.  This package provides an analytic
+equivalent: a CACTI-like SRAM access-energy estimator and a per-ray
+energy breakdown with the same component rows as Table 4.
+"""
+
+from repro.energy.cacti import sram_access_energy_pj, sram_leakage_mw
+from repro.energy.model import EnergyBreakdown, EnergyModel
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyModel",
+    "sram_access_energy_pj",
+    "sram_leakage_mw",
+]

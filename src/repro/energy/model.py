@@ -1,0 +1,157 @@
+"""Per-ray energy breakdown (Table 4).
+
+Composes:
+
+* *Base GPU* - core pipeline + cache + DRAM energy, modeled as a
+  per-cycle constant (GPUWattch's role) plus per-access L1/L2/DRAM
+  energies.  DRAM dominates, as in the paper.
+* *Predictor table* - lookups and updates against a
+  :func:`~repro.energy.cacti.sram_access_energy_pj`-costed array.
+* *Warp repacking* - partial-warp-collector pushes/flushes and the
+  additional ray-buffer index updates repacking performs.
+* *Traversal stack* - one push/pop pair per node visited.
+* *Ray buffer* - one access per warp-step per active thread.
+* *Ray intersections* - box and triangle tests costed as adder/multiplier
+  networks (EIE-style constants).
+
+The absolute numbers are order-of-magnitude calibrated; the reproduced
+*shape* is Table 4's: DRAM-dominated totals, a tiny predictor overhead,
+and a net saving when the predictor shortens execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.predictor import PredictorConfig
+from repro.core.table import NODE_INDEX_BITS, VALID_BITS
+from repro.energy.cacti import sram_access_energy_pj
+from repro.gpu.simulator import SimOutput
+
+#: Core (non-memory) energy per cycle per SM, nJ.  Covers scheduler,
+#: control, register file and static power - the "Base GPU" bucket.
+CORE_NJ_PER_CYCLE_PER_SM = 0.55
+#: Energy per L1 access (nJ) - 8-64 KB SRAM, 128 B line.
+L1_ACCESS_NJ = 0.025
+#: Energy per L2 access (nJ).
+L2_ACCESS_NJ = 0.09
+#: Energy per DRAM access (nJ) - ~15 pJ/bit x 1 Kb line.
+DRAM_ACCESS_NJ = 16.0
+#: Energy per ray-box test (nJ): ~9 FP adds + 6 FP compares.
+BOX_TEST_NJ = 0.012
+#: Energy per ray-triangle test (nJ): ~2 dozen FP mul/add.
+TRI_TEST_NJ = 0.030
+#: Traversal stack entry width (bits): a 27-bit node index padded to 32.
+STACK_ENTRY_BITS = 32
+#: Ray buffer record width (bits): origin+direction+t-interval+status.
+RAY_BUFFER_BITS = 288
+#: Partial warp collector: 64 ray IDs x ~8 bits + 5-bit timeout.
+COLLECTOR_SIZE_BYTES = 70
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-ray energy by component, in nJ/ray (Table 4's rows)."""
+
+    base_gpu: float
+    predictor_table: float
+    warp_repacking: float
+    traversal_stack: float
+    ray_buffer: float
+    ray_intersections: float
+
+    @property
+    def total(self) -> float:
+        """Total nJ/ray."""
+        return (
+            self.base_gpu
+            + self.predictor_table
+            + self.warp_repacking
+            + self.traversal_stack
+            + self.ray_buffer
+            + self.ray_intersections
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Component map, in Table 4 row order."""
+        return {
+            "Base GPU": self.base_gpu,
+            "Predictor table": self.predictor_table,
+            "Warp repacking": self.warp_repacking,
+            "Traversal stack": self.traversal_stack,
+            "Ray buffer": self.ray_buffer,
+            "Ray intersections": self.ray_intersections,
+            "Total": self.total,
+        }
+
+    def delta(self, other: "EnergyBreakdown") -> Dict[str, float]:
+        """Per-component change ``other - self`` (Table 4 right column)."""
+        mine = self.as_dict()
+        theirs = other.as_dict()
+        return {key: theirs[key] - mine[key] for key in mine}
+
+
+class EnergyModel:
+    """Turns a :class:`SimOutput` into a Table 4 style breakdown."""
+
+    def __init__(self, predictor_config: PredictorConfig | None = None) -> None:
+        self.predictor_config = predictor_config
+        config = predictor_config or PredictorConfig()
+        entry_bits = VALID_BITS + config.hash_bits + config.nodes_per_entry * NODE_INDEX_BITS
+        table_bytes = max(1, config.num_entries * entry_bits // 8)
+        self._table_access_nj = (
+            sram_access_energy_pj(table_bytes, width_bits=entry_bits) / 1000.0
+        )
+        self._stack_access_nj = (
+            sram_access_energy_pj(8 * STACK_ENTRY_BITS // 8 * 32, STACK_ENTRY_BITS)
+            / 1000.0
+        )
+        self._ray_buffer_access_nj = (
+            sram_access_energy_pj(256 * RAY_BUFFER_BITS // 8, RAY_BUFFER_BITS) / 1000.0
+        )
+        self._collector_access_nj = (
+            sram_access_energy_pj(COLLECTOR_SIZE_BYTES, 8) / 1000.0
+        )
+
+    def breakdown(self, sim: SimOutput, num_sms: int | None = None) -> EnergyBreakdown:
+        """Compute the per-ray energy breakdown for one simulation."""
+        rays = max(1, sim.rays)
+        sms = num_sms if num_sms is not None else len(sim.per_sm)
+
+        core = CORE_NJ_PER_CYCLE_PER_SM * sim.cycles * sms
+        l1 = L1_ACCESS_NJ * sum(r.l1_accesses for r in sim.per_sm)
+        l2 = L2_ACCESS_NJ * sum(r.l2_accesses for r in sim.per_sm)
+        dram = DRAM_ACCESS_NJ * sim.dram_accesses
+        base_gpu = (core + l1 + l2 + dram) / rays
+
+        table_ops = sim.predictor_lookups + sim.predictor_updates
+        predictor_table = self._table_access_nj * table_ops / rays
+
+        collector_rays = sum(r.collector_warps * 32 for r in sim.per_sm)
+        # Each repacked ray: one collector write, one read, and one
+        # ray-buffer index update when it moves warps.
+        warp_repacking = (
+            (2 * self._collector_access_nj + self._ray_buffer_access_nj)
+            * collector_rays
+            / rays
+        )
+
+        node_visits = sim.node_fetches
+        traversal_stack = 2 * self._stack_access_nj * node_visits / rays
+
+        thread_steps = sum(r.active_thread_steps for r in sim.per_sm)
+        ray_buffer = self._ray_buffer_access_nj * thread_steps / rays
+
+        box = sum(r.box_tests for r in sim.per_sm)
+        tri = sum(r.tri_tests for r in sim.per_sm)
+        ray_intersections = (BOX_TEST_NJ * box + TRI_TEST_NJ * tri) / rays
+
+        return EnergyBreakdown(
+            base_gpu=base_gpu,
+            predictor_table=predictor_table,
+            warp_repacking=warp_repacking,
+            traversal_stack=traversal_stack,
+            ray_buffer=ray_buffer,
+            ray_intersections=ray_intersections,
+        )

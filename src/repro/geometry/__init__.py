@@ -1,0 +1,54 @@
+"""Geometry kernel: vectors, boxes, triangles, rays, and intersection tests.
+
+This package is the lowest layer of the reproduction.  Everything above it
+(BVH construction, traversal, the predictor, the RT-unit timing model)
+consumes these primitives.  Two styles are provided throughout:
+
+* scalar functions on plain Python floats/tuples, used by the traversal
+  inner loops where per-call numpy overhead would dominate, and
+* numpy-batched functions, used by ray generation, renderers and tests.
+"""
+
+from repro.geometry.aabb import AABB, aabb_surface_area, aabb_union
+from repro.geometry.intersect import (
+    ray_aabb_intersect,
+    ray_aabb_intersect_batch,
+    ray_triangle_intersect,
+    ray_triangle_intersect_batch,
+)
+from repro.geometry.morton import morton_decode_3d, morton_encode_3d, morton_codes
+from repro.geometry.ray import Ray, RayBatch
+from repro.geometry.triangle import Triangle, TriangleMesh
+from repro.geometry.vec import (
+    vec_add,
+    vec_cross,
+    vec_dot,
+    vec_length,
+    vec_normalize,
+    vec_scale,
+    vec_sub,
+)
+
+__all__ = [
+    "AABB",
+    "Ray",
+    "RayBatch",
+    "Triangle",
+    "TriangleMesh",
+    "aabb_surface_area",
+    "aabb_union",
+    "morton_codes",
+    "morton_decode_3d",
+    "morton_encode_3d",
+    "ray_aabb_intersect",
+    "ray_aabb_intersect_batch",
+    "ray_triangle_intersect",
+    "ray_triangle_intersect_batch",
+    "vec_add",
+    "vec_cross",
+    "vec_dot",
+    "vec_length",
+    "vec_normalize",
+    "vec_scale",
+    "vec_sub",
+]

@@ -1,0 +1,115 @@
+"""Axis-aligned bounding boxes (AABBs).
+
+BVH nodes bound geometry with AABBs; the predictor's Grid Hash quantizes
+ray origins against the scene AABB.  The class is intentionally small and
+immutable-ish: mutation happens through :meth:`AABB.grow_*` during BVH
+construction only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+from repro.geometry.vec import Vec3
+
+_INF = math.inf
+
+
+@dataclass
+class AABB:
+    """An axis-aligned box described by its two extreme corners.
+
+    A default-constructed box is *empty* (inverted bounds); growing an empty
+    box by a point yields the degenerate box containing just that point.
+    """
+
+    lo: Vec3 = field(default=(_INF, _INF, _INF))
+    hi: Vec3 = field(default=(-_INF, -_INF, -_INF))
+
+    @classmethod
+    def from_points(cls, points: Iterable[Sequence[float]]) -> "AABB":
+        """Smallest box containing every point in ``points``."""
+        box = cls()
+        for point in points:
+            box.grow_point(point)
+        return box
+
+    def is_empty(self) -> bool:
+        """True if the box contains no points (inverted bounds)."""
+        return self.lo[0] > self.hi[0] or self.lo[1] > self.hi[1] or self.lo[2] > self.hi[2]
+
+    def grow_point(self, p: Sequence[float]) -> None:
+        """Expand the box to contain point ``p``."""
+        self.lo = (min(self.lo[0], p[0]), min(self.lo[1], p[1]), min(self.lo[2], p[2]))
+        self.hi = (max(self.hi[0], p[0]), max(self.hi[1], p[1]), max(self.hi[2], p[2]))
+
+    def grow_aabb(self, other: "AABB") -> None:
+        """Expand the box to contain ``other``."""
+        self.grow_point(other.lo)
+        self.grow_point(other.hi)
+
+    def contains_point(self, p: Sequence[float], eps: float = 0.0) -> bool:
+        """True if ``p`` lies inside the box, within tolerance ``eps``."""
+        return (
+            self.lo[0] - eps <= p[0] <= self.hi[0] + eps
+            and self.lo[1] - eps <= p[1] <= self.hi[1] + eps
+            and self.lo[2] - eps <= p[2] <= self.hi[2] + eps
+        )
+
+    def contains_aabb(self, other: "AABB", eps: float = 0.0) -> bool:
+        """True if ``other`` lies entirely inside this box (within ``eps``)."""
+        return self.contains_point(other.lo, eps) and self.contains_point(other.hi, eps)
+
+    def center(self) -> Vec3:
+        """Geometric center of the box."""
+        return (
+            0.5 * (self.lo[0] + self.hi[0]),
+            0.5 * (self.lo[1] + self.hi[1]),
+            0.5 * (self.lo[2] + self.hi[2]),
+        )
+
+    def extent(self) -> Vec3:
+        """Edge lengths along each axis (zero for an empty box)."""
+        if self.is_empty():
+            return (0.0, 0.0, 0.0)
+        return (self.hi[0] - self.lo[0], self.hi[1] - self.lo[1], self.hi[2] - self.lo[2])
+
+    def diagonal_length(self) -> float:
+        """Length of the main diagonal; the paper sizes AO rays from this."""
+        ex, ey, ez = self.extent()
+        return math.sqrt(ex * ex + ey * ey + ez * ez)
+
+    def max_extent(self) -> float:
+        """Length of the longest edge; the Two Point hash uses this."""
+        return max(self.extent())
+
+    def longest_axis(self) -> int:
+        """Index (0/1/2) of the axis with the largest extent."""
+        ex = self.extent()
+        return max(range(3), key=lambda axis: ex[axis])
+
+    def surface_area(self) -> float:
+        """Total surface area (0 for an empty box); used by the SAH builder."""
+        if self.is_empty():
+            return 0.0
+        ex, ey, ez = self.extent()
+        return 2.0 * (ex * ey + ey * ez + ez * ex)
+
+
+def aabb_union(a: AABB, b: AABB) -> AABB:
+    """Smallest box containing both ``a`` and ``b``."""
+    out = AABB(a.lo, a.hi)
+    out.grow_aabb(b)
+    return out
+
+
+def aabb_surface_area(lo: Sequence[float], hi: Sequence[float]) -> float:
+    """Surface area from raw corner tuples (fast path for the SAH builder)."""
+    ex = hi[0] - lo[0]
+    ey = hi[1] - lo[1]
+    ez = hi[2] - lo[2]
+    if ex < 0.0 or ey < 0.0 or ez < 0.0:
+        return 0.0
+    return 2.0 * (ex * ey + ey * ez + ez * ex)

@@ -1,0 +1,127 @@
+"""Rays and ray batches.
+
+Rays follow the paper's parameterization ``o + t * d`` with a valid
+interval ``[t_min, t_max]``.  Occlusion (ambient-occlusion / shadow) rays
+are distinguished only by how they are traced: any hit in the interval
+terminates the search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.vec import Vec3, vec_length, vec_normalize
+
+
+@dataclass
+class Ray:
+    """A single ray ``origin + t * direction`` for ``t in [t_min, t_max]``.
+
+    ``direction`` is not required to be unit length, but ray generation in
+    :mod:`repro.rays` always produces normalized directions so that ``t``
+    is a distance, matching the paper's 25-40 % bbox-diagonal ray lengths.
+    """
+
+    origin: Vec3
+    direction: Vec3
+    t_min: float = 0.0
+    t_max: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.t_min > self.t_max:
+            raise ValueError(f"t_min ({self.t_min}) must be <= t_max ({self.t_max})")
+        if vec_length(self.direction) == 0.0:
+            raise ValueError("ray direction must be non-zero")
+
+    def at(self, t: float) -> Vec3:
+        """Point at parameter ``t``."""
+        return (
+            self.origin[0] + t * self.direction[0],
+            self.origin[1] + t * self.direction[1],
+            self.origin[2] + t * self.direction[2],
+        )
+
+    def normalized(self) -> "Ray":
+        """Copy of the ray with a unit-length direction (same t interval)."""
+        return Ray(self.origin, vec_normalize(self.direction), self.t_min, self.t_max)
+
+    def inv_direction(self) -> Vec3:
+        """Reciprocal direction for slab tests; zero components become +/-inf."""
+        return (
+            _safe_inverse(self.direction[0]),
+            _safe_inverse(self.direction[1]),
+            _safe_inverse(self.direction[2]),
+        )
+
+
+def _safe_inverse(x: float) -> float:
+    """1/x with IEEE-style signed infinity at zero (slab-test convention)."""
+    if x == 0.0:
+        # Preserve the sign of the zero so the slab test degenerates cleanly.
+        return math.copysign(math.inf, x)
+    return 1.0 / x
+
+
+class RayBatch:
+    """Structure-of-arrays collection of rays.
+
+    Attributes:
+        origins: float64 array, shape ``(n, 3)``.
+        directions: float64 array, shape ``(n, 3)`` (normalized by builders).
+        t_min, t_max: float64 arrays, shape ``(n,)``.
+    """
+
+    def __init__(
+        self,
+        origins: np.ndarray,
+        directions: np.ndarray,
+        t_min: np.ndarray | float = 0.0,
+        t_max: np.ndarray | float = np.inf,
+    ) -> None:
+        self.origins = np.asarray(origins, dtype=np.float64)
+        self.directions = np.asarray(directions, dtype=np.float64)
+        if self.origins.shape != self.directions.shape or self.origins.ndim != 2:
+            raise ValueError("origins and directions must share shape (n, 3)")
+        n = self.origins.shape[0]
+        self.t_min = np.broadcast_to(np.asarray(t_min, dtype=np.float64), (n,)).copy()
+        self.t_max = np.broadcast_to(np.asarray(t_max, dtype=np.float64), (n,)).copy()
+        if np.any(self.t_min > self.t_max):
+            raise ValueError("every ray must satisfy t_min <= t_max")
+
+    def __len__(self) -> int:
+        return self.origins.shape[0]
+
+    def __getitem__(self, index: int) -> Ray:
+        return Ray(
+            tuple(self.origins[index]),
+            tuple(self.directions[index]),
+            float(self.t_min[index]),
+            float(self.t_max[index]),
+        )
+
+    def __iter__(self) -> Iterator[Ray]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def subset(self, indices: Sequence[int] | np.ndarray) -> "RayBatch":
+        """New batch containing the rays at ``indices`` (in that order)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return RayBatch(
+            self.origins[idx], self.directions[idx], self.t_min[idx], self.t_max[idx]
+        )
+
+    @classmethod
+    def concatenate(cls, batches: "list[RayBatch]") -> "RayBatch":
+        """Concatenate several batches, preserving order."""
+        if not batches:
+            return cls(np.zeros((0, 3)), np.zeros((0, 3)))
+        return cls(
+            np.concatenate([b.origins for b in batches]),
+            np.concatenate([b.directions for b in batches]),
+            np.concatenate([b.t_min for b in batches]),
+            np.concatenate([b.t_max for b in batches]),
+        )

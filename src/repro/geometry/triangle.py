@@ -1,0 +1,120 @@
+"""Triangles and triangle meshes.
+
+A :class:`TriangleMesh` is the structure-of-arrays form consumed by the BVH
+builder and the traversal kernels; :class:`Triangle` is a convenience view
+for scalar code and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3, vec_cross, vec_sub
+
+
+@dataclass(frozen=True)
+class Triangle:
+    """A single triangle with vertices ``v0``, ``v1``, ``v2``."""
+
+    v0: Vec3
+    v1: Vec3
+    v2: Vec3
+
+    def aabb(self) -> AABB:
+        """Bounding box of the triangle."""
+        return AABB.from_points([self.v0, self.v1, self.v2])
+
+    def centroid(self) -> Vec3:
+        """Centroid (average of the three vertices)."""
+        third = 1.0 / 3.0
+        return (
+            (self.v0[0] + self.v1[0] + self.v2[0]) * third,
+            (self.v0[1] + self.v1[1] + self.v2[1]) * third,
+            (self.v0[2] + self.v1[2] + self.v2[2]) * third,
+        )
+
+    def normal(self) -> Vec3:
+        """Unnormalized geometric normal ``(v1-v0) x (v2-v0)``."""
+        return vec_cross(vec_sub(self.v1, self.v0), vec_sub(self.v2, self.v0))
+
+    def area(self) -> float:
+        """Surface area of the triangle."""
+        n = self.normal()
+        return 0.5 * (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]) ** 0.5
+
+
+class TriangleMesh:
+    """Structure-of-arrays triangle soup.
+
+    Attributes:
+        v0, v1, v2: float64 arrays of shape ``(n, 3)`` with the vertices of
+            each triangle.
+    """
+
+    def __init__(self, v0: np.ndarray, v1: np.ndarray, v2: np.ndarray) -> None:
+        v0 = np.asarray(v0, dtype=np.float64)
+        v1 = np.asarray(v1, dtype=np.float64)
+        v2 = np.asarray(v2, dtype=np.float64)
+        if v0.shape != v1.shape or v1.shape != v2.shape:
+            raise ValueError("vertex arrays must have identical shapes")
+        if v0.ndim != 2 or v0.shape[1] != 3:
+            raise ValueError("vertex arrays must have shape (n, 3)")
+        self.v0 = v0
+        self.v1 = v1
+        self.v2 = v2
+
+    def __len__(self) -> int:
+        return self.v0.shape[0]
+
+    def __getitem__(self, index: int) -> Triangle:
+        return Triangle(
+            tuple(self.v0[index]), tuple(self.v1[index]), tuple(self.v2[index])
+        )
+
+    @classmethod
+    def from_vertices_faces(cls, vertices: np.ndarray, faces: np.ndarray) -> "TriangleMesh":
+        """Build from an indexed representation (``vertices[faces]``)."""
+        vertices = np.asarray(vertices, dtype=np.float64)
+        faces = np.asarray(faces, dtype=np.int64)
+        if faces.ndim != 2 or faces.shape[1] != 3:
+            raise ValueError("faces must have shape (n, 3)")
+        return cls(vertices[faces[:, 0]], vertices[faces[:, 1]], vertices[faces[:, 2]])
+
+    @classmethod
+    def concatenate(cls, meshes: "list[TriangleMesh]") -> "TriangleMesh":
+        """Concatenate several meshes into one soup."""
+        if not meshes:
+            return cls(np.zeros((0, 3)), np.zeros((0, 3)), np.zeros((0, 3)))
+        return cls(
+            np.concatenate([m.v0 for m in meshes]),
+            np.concatenate([m.v1 for m in meshes]),
+            np.concatenate([m.v2 for m in meshes]),
+        )
+
+    def centroids(self) -> np.ndarray:
+        """Per-triangle centroids, shape ``(n, 3)``."""
+        return (self.v0 + self.v1 + self.v2) / 3.0
+
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-triangle AABB corners ``(lo, hi)``, each shape ``(n, 3)``."""
+        lo = np.minimum(np.minimum(self.v0, self.v1), self.v2)
+        hi = np.maximum(np.maximum(self.v0, self.v1), self.v2)
+        return lo, hi
+
+    def scene_aabb(self) -> AABB:
+        """Bounding box of the whole mesh."""
+        if len(self) == 0:
+            return AABB()
+        lo, hi = self.bounds()
+        return AABB(tuple(lo.min(axis=0)), tuple(hi.max(axis=0)))
+
+    def transformed(self, scale: float = 1.0, translate: Tuple[float, float, float] = (0.0, 0.0, 0.0)) -> "TriangleMesh":
+        """Return a uniformly scaled and translated copy."""
+        offset = np.asarray(translate, dtype=np.float64)
+        return TriangleMesh(
+            self.v0 * scale + offset, self.v1 * scale + offset, self.v2 * scale + offset
+        )

@@ -1,0 +1,60 @@
+"""Small 3-vector helpers on plain Python tuples.
+
+Traversal inner loops call these millions of times; tuples of floats are
+several times faster than numpy scalars at this granularity.  All functions
+accept any indexable of three numbers and return plain tuples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+Vec3 = Tuple[float, float, float]
+
+
+def vec_add(a: Sequence[float], b: Sequence[float]) -> Vec3:
+    """Component-wise sum ``a + b``."""
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def vec_sub(a: Sequence[float], b: Sequence[float]) -> Vec3:
+    """Component-wise difference ``a - b``."""
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def vec_scale(a: Sequence[float], s: float) -> Vec3:
+    """Scale vector ``a`` by scalar ``s``."""
+    return (a[0] * s, a[1] * s, a[2] * s)
+
+
+def vec_dot(a: Sequence[float], b: Sequence[float]) -> float:
+    """Dot product of ``a`` and ``b``."""
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+
+def vec_cross(a: Sequence[float], b: Sequence[float]) -> Vec3:
+    """Cross product ``a x b``."""
+    return (
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    )
+
+
+def vec_length(a: Sequence[float]) -> float:
+    """Euclidean length of ``a``."""
+    return math.sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2])
+
+
+def vec_normalize(a: Sequence[float]) -> Vec3:
+    """Unit vector in the direction of ``a``.
+
+    Raises:
+        ValueError: if ``a`` is the zero vector.
+    """
+    length = vec_length(a)
+    if length == 0.0:
+        raise ValueError("cannot normalize the zero vector")
+    inv = 1.0 / length
+    return (a[0] * inv, a[1] * inv, a[2] * inv)

@@ -1,0 +1,71 @@
+"""Set-associative LRU cache model.
+
+Timing-free hit/miss machinery; latency composition happens in
+:class:`repro.gpu.memory.MemoryHierarchy`.  Lines are tracked by line
+address (byte address divided by line size); an OrderedDict per set
+gives O(1) LRU updates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List
+
+from repro.gpu.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        """Accesses that missed."""
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per access (0 when idle)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative cache with LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(config.num_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, line_addr: int) -> OrderedDict:
+        return self._sets[line_addr % self.config.num_sets]
+
+    def access(self, line_addr: int) -> bool:
+        """Access a line; returns True on hit.  Misses allocate (LRU evict)."""
+        self.stats.accesses += 1
+        bucket = self._locate(line_addr)
+        if line_addr in bucket:
+            bucket.move_to_end(line_addr)
+            self.stats.hits += 1
+            return True
+        if len(bucket) >= self.config.ways:
+            bucket.popitem(last=False)
+        bucket[line_addr] = True
+        return False
+
+    def probe(self, line_addr: int) -> bool:
+        """Check residency without updating LRU state or counters."""
+        return line_addr in self._locate(line_addr)
+
+    def line_of(self, byte_addr: int) -> int:
+        """Line address containing ``byte_addr``."""
+        return byte_addr // self.config.line_bytes
+
+    def flush(self) -> None:
+        """Invalidate all lines (keeps statistics)."""
+        for bucket in self._sets:
+            bucket.clear()

@@ -1,0 +1,78 @@
+"""Banked DRAM timing model.
+
+Addresses interleave across banks at cache-line granularity.  Each bank
+services one request at a time; a request arriving at a busy bank queues
+behind it.  This reproduces the first-order behaviour the paper relies
+on in Section 6.2.2: repacked warps mix interior- and leaf-node requests,
+spreading accesses across banks and raising bank-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.gpu.config import DRAMConfig
+
+
+@dataclass
+class DRAMStats:
+    """DRAM service counters."""
+
+    accesses: int = 0
+    stall_cycles: int = 0
+    busy_cycles: int = 0
+    first_access_time: int = 0
+    last_release_time: int = 0
+
+    def bank_parallelism(self, num_banks: int) -> float:
+        """Average banks busy simultaneously over the active span."""
+        span = self.last_release_time - self.first_access_time
+        if span <= 0:
+            return 0.0
+        return min(float(num_banks), self.busy_cycles / span)
+
+    @property
+    def avg_queue_delay(self) -> float:
+        """Average cycles a request waited for its bank."""
+        return self.stall_cycles / self.accesses if self.accesses else 0.0
+
+
+class DRAM:
+    """Per-bank busy-until bookkeeping."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        self._busy_until: List[int] = [0] * config.num_banks
+        self.stats = DRAMStats()
+
+    def bank_of(self, line_addr: int) -> int:
+        """Bank servicing ``line_addr`` (line-interleaved)."""
+        return line_addr % self.config.num_banks
+
+    def access(self, line_addr: int, now: int) -> int:
+        """Service a request arriving at cycle ``now``.
+
+        Returns the cycle at which data is available.  The bank is held
+        for ``bank_occupancy`` cycles from service start.
+        """
+        bank = self.bank_of(line_addr)
+        start = max(now, self._busy_until[bank])
+        stall = start - now
+        done = start + self.config.latency
+        self._busy_until[bank] = start + self.config.bank_occupancy
+
+        stats = self.stats
+        if stats.accesses == 0:
+            stats.first_access_time = start
+        stats.accesses += 1
+        stats.stall_cycles += stall
+        stats.busy_cycles += self.config.bank_occupancy
+        stats.last_release_time = max(
+            stats.last_release_time, start + self.config.bank_occupancy
+        )
+        return done
+
+    def reset_timing(self) -> None:
+        """Clear bank busy state (new kernel) without losing statistics."""
+        self._busy_until = [0] * self.config.num_banks

@@ -1,0 +1,101 @@
+"""The memory hierarchy beneath one SM: L1 -> L2 -> banked DRAM.
+
+Latency composition: an access probes the L1 (one cycle on hit); on a
+miss it probes the shared L2; on an L2 miss it is serviced by the DRAM
+bank model, which adds queueing delay when banks are contended.  Fills
+allocate in both caches (no bypass), matching the simple read-only
+behaviour of BVH/triangle data in the paper's workloads.
+
+The L1 has a single request port: within a warp step, distinct line
+requests issue on consecutive cycles; misses overlap (MSHR-style),
+so a step's memory time is ``max_i(issue_i + latency_i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.cache import Cache
+from repro.gpu.config import MemoryConfig
+from repro.gpu.dram import DRAM
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single line access."""
+
+    ready_at: int
+    l1_hit: bool
+    l2_hit: bool
+
+
+class MemoryHierarchy:
+    """L1 + shared L2 + DRAM with per-bank timing.
+
+    One instance per SM for the L1; the L2 and DRAM objects may be shared
+    across SMs (pass them in), mirroring Figure 3's clusters connecting
+    to a common interconnect and memory.
+    """
+
+    def __init__(
+        self,
+        config: MemoryConfig,
+        l2: Cache | None = None,
+        dram: DRAM | None = None,
+    ) -> None:
+        self.config = config
+        self.l1 = Cache(config.l1)
+        self.l2 = l2 if l2 is not None else Cache(config.l2)
+        self.dram = dram if dram is not None else DRAM(config.dram)
+        # The SM's L1 request port(s): `l1_ports` line requests per cycle
+        # (the RT unit multiplexes with the LDST unit for L1 access,
+        # Section 5.1).  Requests from all resident warps serialize here
+        # while their *latencies* overlap MSHR-style.
+        self._port_cycle = 0
+        self._port_slots = 0
+        self.port_issues = 0
+        self.port_wait_cycles = 0
+        # The RT unit's controller services one warp iteration per cycle
+        # ("the memory scheduler first selects a warp, then selects the
+        # next node", Section 5.1.2), so sparse iterations - a warp with
+        # one straggler thread - consume scheduling throughput just like
+        # dense ones.  This is the cost that warp repacking recovers.
+        self._scheduler_free = 0
+
+    def acquire_scheduler_slot(self, now: int) -> int:
+        """Reserve the next warp-iteration slot at or after ``now``."""
+        slot = now if now >= self._scheduler_free else self._scheduler_free
+        self._scheduler_free = slot + 1
+        return slot
+
+    def line_of(self, byte_addr: int) -> int:
+        """Line address for a byte address."""
+        return byte_addr // self.config.l1.line_bytes
+
+    def access_line(self, line_addr: int, now: int) -> AccessResult:
+        """Access one cache line, arriving at cycle ``now``.
+
+        The request first waits for the L1 port (one issue per cycle,
+        shared by all warps), then traverses the hierarchy.
+        """
+        if now > self._port_cycle:
+            self._port_cycle = now
+            self._port_slots = 0
+        elif self._port_slots >= self.config.l1_ports:
+            self._port_cycle += 1
+            self._port_slots = 0
+        issue = self._port_cycle
+        self._port_slots += 1
+        self.port_issues += 1
+        self.port_wait_cycles += issue - now
+
+        if self.l1.access(line_addr):
+            return AccessResult(
+                ready_at=issue + self.config.l1.latency, l1_hit=True, l2_hit=False
+            )
+        if self.l2.access(line_addr):
+            return AccessResult(
+                ready_at=issue + self.config.l2.latency, l1_hit=False, l2_hit=True
+            )
+        ready = self.dram.access(line_addr, issue + self.config.l2.latency)
+        return AccessResult(ready_at=ready, l1_hit=False, l2_hit=False)

@@ -1,0 +1,28 @@
+"""Ray generation: cameras, primary rays, AO rays, and ray sorting.
+
+Reproduces the workload-generation recipe of Section 5.2: primary rays
+are traced from a pinhole camera through every pixel; each primary hit
+spawns ``spp`` ambient-occlusion rays by cosine-sampling the upper
+hemisphere, with lengths fixed to 25-40 % of the scene bounding-box
+diagonal.  Morton-order sorting reproduces the "sorted rays" variants.
+"""
+
+from repro.rays.aogen import AOWorkload, generate_ao_rays, generate_ao_workload
+from repro.rays.camera import PinholeCamera
+from repro.rays.sampling import (
+    cosine_hemisphere_batch,
+    cosine_sample_hemisphere,
+    orthonormal_basis,
+)
+from repro.rays.sorting import morton_sort_rays
+
+__all__ = [
+    "AOWorkload",
+    "PinholeCamera",
+    "cosine_hemisphere_batch",
+    "cosine_sample_hemisphere",
+    "generate_ao_rays",
+    "generate_ao_workload",
+    "morton_sort_rays",
+    "orthonormal_basis",
+]

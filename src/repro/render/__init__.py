@@ -1,0 +1,23 @@
+"""Renderers built on the traced substrate.
+
+* :mod:`repro.render.ao` - ambient-occlusion rendering (the paper's
+  primary workload): per-pixel occlusion from hemisphere-sampled rays.
+* :mod:`repro.render.gi` - the Section 6.4 extension: a small path
+  tracer whose closest-hit rays use the predictor to *trim t_max* before
+  traversal (rather than predicting the final hit point).
+* :mod:`repro.render.image` - minimal PPM image output.
+"""
+
+from repro.render.ao import AOImage, render_ao
+from repro.render.gi import GIResult, PredictedClosestHitTracer, render_gi
+from repro.render.image import tonemap, write_ppm
+
+__all__ = [
+    "AOImage",
+    "GIResult",
+    "PredictedClosestHitTracer",
+    "render_ao",
+    "render_gi",
+    "tonemap",
+    "write_ppm",
+]

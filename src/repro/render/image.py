@@ -1,0 +1,39 @@
+"""Minimal image output: grayscale/RGB PPM files.
+
+PPM needs no external dependencies and every viewer opens it; the
+examples write their renders this way.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def tonemap(image: np.ndarray, gamma: float = 2.2) -> np.ndarray:
+    """Clamp to [0, 1] and gamma-encode; returns uint8 values."""
+    clipped = np.clip(np.nan_to_num(image, nan=0.0), 0.0, 1.0)
+    encoded = clipped ** (1.0 / gamma)
+    return (encoded * 255.0 + 0.5).astype(np.uint8)
+
+
+def write_ppm(path: str | os.PathLike, image: np.ndarray, gamma: float = 2.2) -> None:
+    """Write an image as binary PPM (P6).
+
+    Args:
+        path: output file path.
+        image: float array of shape ``(h, w)`` (grayscale) or
+            ``(h, w, 3)`` (RGB), values nominally in [0, 1].
+        gamma: display gamma used for encoding.
+    """
+    data = np.asarray(image, dtype=np.float64)
+    if data.ndim == 2:
+        data = np.repeat(data[:, :, None], 3, axis=2)
+    if data.ndim != 3 or data.shape[2] != 3:
+        raise ValueError("image must have shape (h, w) or (h, w, 3)")
+    pixels = tonemap(data, gamma)
+    height, width = pixels.shape[:2]
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(pixels.tobytes())

@@ -1,0 +1,88 @@
+"""Minimal Wavefront OBJ reader/writer.
+
+The paper's artifact ships the original seven scenes as .obj files; this
+loader lets users drop those assets in and run every experiment against
+the real geometry.  Only vertex (``v``) and face (``f``) records are
+consumed; faces with more than three vertices are fan-triangulated and
+negative (relative) indices are supported per the OBJ specification.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import numpy as np
+
+from repro.geometry.triangle import TriangleMesh
+from repro.scenes.scene import CameraSpec, Scene
+
+
+def load_obj(path: str | os.PathLike, name: str | None = None) -> Scene:
+    """Load a Wavefront OBJ file into a :class:`Scene`.
+
+    The default camera is placed on the bounding-box diagonal looking at
+    the scene center, which is serviceable for AO workloads.
+    """
+    vertices: List[List[float]] = []
+    faces: List[List[int]] = []
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            tag = parts[0]
+            if tag == "v" and len(parts) >= 4:
+                vertices.append([float(parts[1]), float(parts[2]), float(parts[3])])
+            elif tag == "f" and len(parts) >= 4:
+                indices = [_parse_face_index(tok, len(vertices)) for tok in parts[1:]]
+                for i in range(1, len(indices) - 1):
+                    faces.append([indices[0], indices[i], indices[i + 1]])
+
+    if not faces:
+        raise ValueError(f"OBJ file {path!r} contains no faces")
+    mesh = TriangleMesh.from_vertices_faces(
+        np.asarray(vertices, dtype=np.float64), np.asarray(faces, dtype=np.int64)
+    )
+    aabb = mesh.scene_aabb()
+    center = aabb.center()
+    eye = (
+        aabb.hi[0] + 0.25 * (aabb.hi[0] - aabb.lo[0] + 1e-9),
+        center[1],
+        aabb.hi[2] + 0.25 * (aabb.hi[2] - aabb.lo[2] + 1e-9),
+    )
+    scene_name = name or os.path.splitext(os.path.basename(str(path)))[0]
+    return Scene(
+        name=scene_name,
+        code=scene_name[:2].upper(),
+        mesh=mesh,
+        camera=CameraSpec(eye=eye, look_at=center),
+        description=f"Loaded from OBJ file {path}",
+    )
+
+
+def save_obj(scene: Scene, path: str | os.PathLike) -> None:
+    """Write a scene's triangle soup as an OBJ file (one vertex per corner)."""
+    mesh = scene.mesh
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# {scene.name} ({len(mesh)} triangles)\n")
+        for i in range(len(mesh)):
+            for v in (mesh.v0[i], mesh.v1[i], mesh.v2[i]):
+                handle.write(f"v {v[0]:.9g} {v[1]:.9g} {v[2]:.9g}\n")
+        for i in range(len(mesh)):
+            base = 3 * i
+            handle.write(f"f {base + 1} {base + 2} {base + 3}\n")
+
+
+def _parse_face_index(token: str, num_vertices: int) -> int:
+    """Parse one ``f`` token (``v``, ``v/vt``, ``v//vn``, ``v/vt/vn``)."""
+    raw = token.split("/")[0]
+    index = int(raw)
+    if index < 0:
+        index = num_vertices + index
+    else:
+        index -= 1
+    if index < 0 or index >= num_vertices:
+        raise ValueError(f"face index {token!r} out of range")
+    return index

@@ -1,0 +1,356 @@
+"""Procedural mesh primitives.
+
+Building blocks for the seven stand-in benchmark scenes: tessellated
+quads, boxes, UV spheres, cylinders (columns), and heightfields.  All
+functions return a :class:`TriangleMesh`; scenes concatenate them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.triangle import TriangleMesh
+
+Vec3 = Tuple[float, float, float]
+
+
+def quad(
+    p0: Sequence[float],
+    p1: Sequence[float],
+    p2: Sequence[float],
+    p3: Sequence[float],
+    subdiv: int = 1,
+) -> TriangleMesh:
+    """Tessellated quad with corners ``p0..p3`` in order (2*subdiv^2 tris).
+
+    The quad is bilinear: interior vertices are interpolated, so slightly
+    non-planar corner sets produce curved patches (used for draperies).
+    """
+    if subdiv < 1:
+        raise ValueError("subdiv must be >= 1")
+    p0 = np.asarray(p0, dtype=np.float64)
+    p1 = np.asarray(p1, dtype=np.float64)
+    p2 = np.asarray(p2, dtype=np.float64)
+    p3 = np.asarray(p3, dtype=np.float64)
+
+    us = np.linspace(0.0, 1.0, subdiv + 1)
+    vs = np.linspace(0.0, 1.0, subdiv + 1)
+    grid = np.empty((subdiv + 1, subdiv + 1, 3))
+    for i, u in enumerate(us):
+        bottom = p0 * (1 - u) + p1 * u
+        top = p3 * (1 - u) + p2 * u
+        for j, v in enumerate(vs):
+            grid[i, j] = bottom * (1 - v) + top * v
+
+    v0: List[np.ndarray] = []
+    v1: List[np.ndarray] = []
+    v2: List[np.ndarray] = []
+    for i in range(subdiv):
+        for j in range(subdiv):
+            a = grid[i, j]
+            b = grid[i + 1, j]
+            c = grid[i + 1, j + 1]
+            d = grid[i, j + 1]
+            v0.extend([a, a])
+            v1.extend([b, c])
+            v2.extend([c, d])
+    return TriangleMesh(np.asarray(v0), np.asarray(v1), np.asarray(v2))
+
+
+def box(lo: Sequence[float], hi: Sequence[float], subdiv: int = 1) -> TriangleMesh:
+    """Axis-aligned box with all six faces tessellated ``subdiv`` times."""
+    x0, y0, z0 = lo
+    x1, y1, z1 = hi
+    faces = [
+        # bottom (y0) and top (y1)
+        ((x0, y0, z0), (x1, y0, z0), (x1, y0, z1), (x0, y0, z1)),
+        ((x0, y1, z0), (x0, y1, z1), (x1, y1, z1), (x1, y1, z0)),
+        # front (z0) and back (z1)
+        ((x0, y0, z0), (x0, y1, z0), (x1, y1, z0), (x1, y0, z0)),
+        ((x0, y0, z1), (x1, y0, z1), (x1, y1, z1), (x0, y1, z1)),
+        # left (x0) and right (x1)
+        ((x0, y0, z0), (x0, y0, z1), (x0, y1, z1), (x0, y1, z0)),
+        ((x1, y0, z0), (x1, y1, z0), (x1, y1, z1), (x1, y0, z1)),
+    ]
+    return TriangleMesh.concatenate([quad(*f, subdiv=subdiv) for f in faces])
+
+
+def open_room(lo: Sequence[float], hi: Sequence[float], subdiv: int = 2) -> TriangleMesh:
+    """Interior of a room: floor, ceiling and four walls facing inward."""
+    # Geometrically identical to a box; occlusion rays do not care about
+    # winding, so reuse the box tessellation.
+    return box(lo, hi, subdiv=subdiv)
+
+
+def uv_sphere(
+    center: Sequence[float], radius: float, lat: int = 8, lon: int = 12
+) -> TriangleMesh:
+    """UV sphere with ``lat`` latitude bands and ``lon`` longitude segments."""
+    if lat < 2 or lon < 3:
+        raise ValueError("need lat >= 2 and lon >= 3")
+    cx, cy, cz = center
+    ring_points = []
+    for i in range(lat + 1):
+        theta = math.pi * i / lat
+        ring = []
+        for j in range(lon):
+            phi = 2.0 * math.pi * j / lon
+            ring.append(
+                (
+                    cx + radius * math.sin(theta) * math.cos(phi),
+                    cy + radius * math.cos(theta),
+                    cz + radius * math.sin(theta) * math.sin(phi),
+                )
+            )
+        ring_points.append(ring)
+
+    v0: List[Vec3] = []
+    v1: List[Vec3] = []
+    v2: List[Vec3] = []
+    for i in range(lat):
+        for j in range(lon):
+            jn = (j + 1) % lon
+            a = ring_points[i][j]
+            b = ring_points[i + 1][j]
+            c = ring_points[i + 1][jn]
+            d = ring_points[i][jn]
+            if i != 0:
+                v0.append(a)
+                v1.append(b)
+                v2.append(d)
+            if i != lat - 1:
+                v0.append(b)
+                v1.append(c)
+                v2.append(d)
+    return TriangleMesh(np.asarray(v0), np.asarray(v1), np.asarray(v2))
+
+
+def cylinder(
+    center: Sequence[float],
+    radius: float,
+    height: float,
+    segments: int = 10,
+    rings: int = 1,
+    capped: bool = True,
+) -> TriangleMesh:
+    """Vertical cylinder (column) centred at ``center`` (base at center y)."""
+    if segments < 3:
+        raise ValueError("segments must be >= 3")
+    cx, cy, cz = center
+    meshes: List[TriangleMesh] = []
+    ys = np.linspace(cy, cy + height, rings + 1)
+    angles = [2.0 * math.pi * j / segments for j in range(segments)]
+    circle = [(math.cos(a), math.sin(a)) for a in angles]
+
+    v0: List[Vec3] = []
+    v1: List[Vec3] = []
+    v2: List[Vec3] = []
+    for r in range(rings):
+        y_lo, y_hi = ys[r], ys[r + 1]
+        for j in range(segments):
+            jn = (j + 1) % segments
+            ax, az = circle[j]
+            bx, bz = circle[jn]
+            a = (cx + radius * ax, y_lo, cz + radius * az)
+            b = (cx + radius * bx, y_lo, cz + radius * bz)
+            c = (cx + radius * bx, y_hi, cz + radius * bz)
+            d = (cx + radius * ax, y_hi, cz + radius * az)
+            v0.extend([a, a])
+            v1.extend([b, c])
+            v2.extend([c, d])
+    meshes.append(TriangleMesh(np.asarray(v0), np.asarray(v1), np.asarray(v2)))
+
+    if capped:
+        for y in (float(ys[0]), float(ys[-1])):
+            cv0: List[Vec3] = []
+            cv1: List[Vec3] = []
+            cv2: List[Vec3] = []
+            for j in range(segments):
+                jn = (j + 1) % segments
+                ax, az = circle[j]
+                bx, bz = circle[jn]
+                cv0.append((cx, y, cz))
+                cv1.append((cx + radius * ax, y, cz + radius * az))
+                cv2.append((cx + radius * bx, y, cz + radius * bz))
+            meshes.append(TriangleMesh(np.asarray(cv0), np.asarray(cv1), np.asarray(cv2)))
+    return TriangleMesh.concatenate(meshes)
+
+
+def heightfield(
+    x0: float,
+    z0: float,
+    x1: float,
+    z1: float,
+    nx: int,
+    nz: int,
+    height_fn: Callable[[float, float], float],
+) -> TriangleMesh:
+    """Triangulated heightfield ``y = height_fn(x, z)`` over a grid."""
+    xs = np.linspace(x0, x1, nx + 1)
+    zs = np.linspace(z0, z1, nz + 1)
+    heights = np.asarray([[height_fn(x, z) for z in zs] for x in xs])
+
+    v0: List[Vec3] = []
+    v1: List[Vec3] = []
+    v2: List[Vec3] = []
+    for i in range(nx):
+        for j in range(nz):
+            a = (xs[i], heights[i, j], zs[j])
+            b = (xs[i + 1], heights[i + 1, j], zs[j])
+            c = (xs[i + 1], heights[i + 1, j + 1], zs[j + 1])
+            d = (xs[i], heights[i, j + 1], zs[j + 1])
+            v0.extend([a, a])
+            v1.extend([b, c])
+            v2.extend([c, d])
+    return TriangleMesh(np.asarray(v0), np.asarray(v1), np.asarray(v2))
+
+
+def voxel_terrain(
+    x0: float,
+    z0: float,
+    x1: float,
+    z1: float,
+    nx: int,
+    nz: int,
+    height_fn: Callable[[float, float], float],
+    block_height: float = 0.5,
+) -> TriangleMesh:
+    """Minecraft-style quantized terrain: one box per grid cell.
+
+    Heights are quantized to multiples of ``block_height``, producing the
+    stepped silhouettes of the Lost Empire scene.
+    """
+    xs = np.linspace(x0, x1, nx + 1)
+    zs = np.linspace(z0, z1, nz + 1)
+    meshes: List[TriangleMesh] = []
+    for i in range(nx):
+        for j in range(nz):
+            cx = 0.5 * (xs[i] + xs[i + 1])
+            cz = 0.5 * (zs[j] + zs[j + 1])
+            h = max(block_height, round(height_fn(cx, cz) / block_height) * block_height)
+            meshes.append(box((xs[i], 0.0, zs[j]), (xs[i + 1], h, zs[j + 1]), subdiv=1))
+    return TriangleMesh.concatenate(meshes)
+
+
+def table(center: Sequence[float], width: float, depth: float, height: float) -> TriangleMesh:
+    """Simple four-legged table."""
+    cx, cy, cz = center
+    top_thickness = 0.06 * height
+    leg = 0.08 * min(width, depth)
+    parts = [
+        box(
+            (cx - width / 2, cy + height - top_thickness, cz - depth / 2),
+            (cx + width / 2, cy + height, cz + depth / 2),
+        )
+    ]
+    for sx in (-1, 1):
+        for sz in (-1, 1):
+            lx = cx + sx * (width / 2 - leg)
+            lz = cz + sz * (depth / 2 - leg)
+            parts.append(box((lx - leg / 2, cy, lz - leg / 2), (lx + leg / 2, cy + height, lz + leg / 2)))
+    return TriangleMesh.concatenate(parts)
+
+
+def chair(center: Sequence[float], size: float, height: float) -> TriangleMesh:
+    """Simple chair: seat, four legs, and a back rest."""
+    cx, cy, cz = center
+    seat_h = 0.45 * height
+    leg = 0.1 * size
+    parts = [
+        box(
+            (cx - size / 2, cy + seat_h - 0.05 * height, cz - size / 2),
+            (cx + size / 2, cy + seat_h, cz + size / 2),
+        ),
+        box(
+            (cx - size / 2, cy + seat_h, cz + size / 2 - leg),
+            (cx + size / 2, cy + height, cz + size / 2),
+        ),
+    ]
+    for sx in (-1, 1):
+        for sz in (-1, 1):
+            lx = cx + sx * (size / 2 - leg / 2)
+            lz = cz + sz * (size / 2 - leg / 2)
+            parts.append(
+                box((lx - leg / 2, cy, lz - leg / 2), (lx + leg / 2, cy + seat_h, lz + leg / 2))
+            )
+    return TriangleMesh.concatenate(parts)
+
+
+def floor_field(
+    rng: np.random.Generator,
+    region_lo: Sequence[float],
+    region_hi: Sequence[float],
+    nx: int,
+    nz: int,
+    height_range: Tuple[float, float] = (0.4, 2.0),
+    size_range: Tuple[float, float] = (0.25, 0.7),
+    fill: float = 0.85,
+) -> TriangleMesh:
+    """A jittered grid of floor-standing boxes and columns.
+
+    This is the workhorse that gives stand-in scenes the *short ambient
+    occlusion hit distances* of the real benchmark assets: AO rays leaving
+    a surface in Sponza or the Bistro almost immediately meet a column,
+    plant, chair or counter.  Without nearby occluders, same-hash rays
+    disperse before hitting anything and the predictor's verified rate
+    collapses; with them, the paper's behaviour reproduces.
+
+    Args:
+        rng: seeded generator.
+        region_lo, region_hi: the (x, y, z) region; objects stand on
+            ``region_lo[1]``.
+        nx, nz: grid resolution.
+        height_range, size_range: object dimensions.
+        fill: probability that a grid cell holds an object.
+    """
+    x0, y0, z0 = region_lo
+    x1, _, z1 = region_hi
+    meshes: List[TriangleMesh] = []
+    for i in range(nx):
+        for j in range(nz):
+            if rng.random() > fill:
+                continue
+            cx = x0 + (i + 0.3 + 0.4 * rng.random()) * (x1 - x0) / nx
+            cz = z0 + (j + 0.3 + 0.4 * rng.random()) * (z1 - z0) / nz
+            h = height_range[0] + rng.random() * (height_range[1] - height_range[0])
+            s = size_range[0] + rng.random() * (size_range[1] - size_range[0])
+            roll = rng.random()
+            if roll < 0.55:
+                meshes.append(box((cx - s / 2, y0, cz - s / 2), (cx + s / 2, y0 + h, cz + s / 2)))
+            elif roll < 0.85:
+                meshes.append(cylinder((cx, y0, cz), s / 2, h, segments=6))
+            else:
+                meshes.append(uv_sphere((cx, y0 + s / 2, cz), s / 2, lat=4, lon=6))
+    if not meshes:
+        return TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3)), np.zeros((0, 3)))
+    return TriangleMesh.concatenate(meshes)
+
+
+def clutter(
+    rng: np.random.Generator,
+    count: int,
+    region_lo: Sequence[float],
+    region_hi: Sequence[float],
+    size_range: Tuple[float, float] = (0.05, 0.25),
+) -> TriangleMesh:
+    """Random small boxes and spheres scattered in a region.
+
+    Gives the stand-in scenes the geometric irregularity of real assets so
+    BVH traversal (and therefore the predictor) sees realistic variety.
+    """
+    lo = np.asarray(region_lo, dtype=np.float64)
+    hi = np.asarray(region_hi, dtype=np.float64)
+    meshes: List[TriangleMesh] = []
+    for _ in range(count):
+        pos = lo + rng.random(3) * (hi - lo)
+        size = size_range[0] + rng.random() * (size_range[1] - size_range[0])
+        if rng.random() < 0.5:
+            meshes.append(box(pos - size / 2, pos + size / 2))
+        else:
+            meshes.append(uv_sphere(tuple(pos), size / 2, lat=4, lon=6))
+    if not meshes:
+        return TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3)), np.zeros((0, 3)))
+    return TriangleMesh.concatenate(meshes)

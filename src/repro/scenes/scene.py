@@ -1,0 +1,47 @@
+"""Scene container and camera description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.aabb import AABB
+from repro.geometry.triangle import TriangleMesh
+from repro.geometry.vec import Vec3
+
+
+@dataclass(frozen=True)
+class CameraSpec:
+    """A pinhole camera pose: where it sits, what it looks at, and its FOV."""
+
+    eye: Vec3
+    look_at: Vec3
+    up: Vec3 = (0.0, 1.0, 0.0)
+    fov_degrees: float = 60.0
+
+
+@dataclass
+class Scene:
+    """A named triangle scene with a default camera.
+
+    Attributes:
+        name: short human-readable name.
+        code: two-letter code used in the paper's figures (e.g. ``"SP"``).
+        mesh: the triangle soup.
+        camera: default camera used by ray generation and the renderers.
+        description: provenance note (procedural stand-in vs. loaded asset).
+    """
+
+    name: str
+    code: str
+    mesh: TriangleMesh
+    camera: CameraSpec
+    description: str = ""
+
+    @property
+    def num_triangles(self) -> int:
+        """Number of triangles in the scene."""
+        return len(self.mesh)
+
+    def aabb(self) -> AABB:
+        """Scene bounding box (the predictor's Grid Hash quantizes to it)."""
+        return self.mesh.scene_aabb()

@@ -1,0 +1,33 @@
+"""Reference BVH traversal (Algorithm 1) and traversal statistics.
+
+These kernels are the functional ground truth: the predictor and the
+RT-unit timing model are validated against them, and the limit study
+(Figure 2) uses their all-hits variant to compute oracle predictions.
+"""
+
+from repro.trace.counters import TraversalStats
+from repro.trace.packets import occlusion_packet, trace_occlusion_packets
+from repro.trace.stackless import occlusion_any_hit_stackless
+from repro.trace.traversal import (
+    closest_hit,
+    occlusion_any_hit,
+    occlusion_any_hit_tri,
+    occlusion_all_hit_leaves,
+    occlusion_from_nodes,
+    trace_occlusion_batch,
+    trace_closest_batch,
+)
+
+__all__ = [
+    "TraversalStats",
+    "closest_hit",
+    "occlusion_all_hit_leaves",
+    "occlusion_any_hit",
+    "occlusion_any_hit_stackless",
+    "occlusion_any_hit_tri",
+    "occlusion_from_nodes",
+    "occlusion_packet",
+    "trace_closest_batch",
+    "trace_occlusion_batch",
+    "trace_occlusion_packets",
+]

@@ -1,0 +1,95 @@
+"""Unit tests for repro.geometry.aabb."""
+
+import math
+
+from repro.geometry.aabb import AABB, aabb_surface_area, aabb_union
+
+
+class TestConstruction:
+    def test_default_is_empty(self):
+        assert AABB().is_empty()
+
+    def test_from_points(self):
+        box = AABB.from_points([(0, 0, 0), (1, 2, 3), (-1, 1, 1)])
+        assert box.lo == (-1, 0, 0)
+        assert box.hi == (1, 2, 3)
+
+    def test_grow_point_from_empty(self):
+        box = AABB()
+        box.grow_point((1, 2, 3))
+        assert box.lo == (1, 2, 3)
+        assert box.hi == (1, 2, 3)
+        assert not box.is_empty()
+
+    def test_grow_aabb(self):
+        a = AABB((0, 0, 0), (1, 1, 1))
+        b = AABB((2, -1, 0), (3, 0.5, 2))
+        a.grow_aabb(b)
+        assert a.lo == (0, -1, 0)
+        assert a.hi == (3, 1, 2)
+
+
+class TestQueries:
+    def test_contains_point(self):
+        box = AABB((0, 0, 0), (1, 1, 1))
+        assert box.contains_point((0.5, 0.5, 0.5))
+        assert box.contains_point((0, 0, 0))
+        assert not box.contains_point((1.5, 0.5, 0.5))
+
+    def test_contains_point_epsilon(self):
+        box = AABB((0, 0, 0), (1, 1, 1))
+        assert not box.contains_point((1.0001, 0.5, 0.5))
+        assert box.contains_point((1.0001, 0.5, 0.5), eps=1e-3)
+
+    def test_contains_aabb(self):
+        outer = AABB((0, 0, 0), (2, 2, 2))
+        inner = AABB((0.5, 0.5, 0.5), (1.5, 1.5, 1.5))
+        assert outer.contains_aabb(inner)
+        assert not inner.contains_aabb(outer)
+
+    def test_center(self):
+        assert AABB((0, 0, 0), (2, 4, 6)).center() == (1, 2, 3)
+
+    def test_extent(self):
+        assert AABB((0, 1, 2), (1, 3, 5)).extent() == (1, 2, 3)
+
+    def test_extent_of_empty_is_zero(self):
+        assert AABB().extent() == (0, 0, 0)
+
+    def test_diagonal_length(self):
+        box = AABB((0, 0, 0), (3, 4, 0))
+        assert math.isclose(box.diagonal_length(), 5.0)
+
+    def test_max_extent_and_longest_axis(self):
+        box = AABB((0, 0, 0), (1, 5, 2))
+        assert box.max_extent() == 5.0
+        assert box.longest_axis() == 1
+
+    def test_surface_area_unit_cube(self):
+        assert AABB((0, 0, 0), (1, 1, 1)).surface_area() == 6.0
+
+    def test_surface_area_empty_is_zero(self):
+        assert AABB().surface_area() == 0.0
+
+    def test_surface_area_degenerate_plane(self):
+        # A flat box still has two faces.
+        assert AABB((0, 0, 0), (1, 1, 0)).surface_area() == 2.0
+
+
+class TestHelpers:
+    def test_union(self):
+        a = AABB((0, 0, 0), (1, 1, 1))
+        b = AABB((2, 2, 2), (3, 3, 3))
+        u = aabb_union(a, b)
+        assert u.lo == (0, 0, 0)
+        assert u.hi == (3, 3, 3)
+        # Inputs must not be mutated.
+        assert a.hi == (1, 1, 1)
+        assert b.lo == (2, 2, 2)
+
+    def test_raw_surface_area_matches_class(self):
+        box = AABB((0, 0, 0), (2, 3, 4))
+        assert aabb_surface_area(box.lo, box.hi) == box.surface_area()
+
+    def test_raw_surface_area_inverted_is_zero(self):
+        assert aabb_surface_area((1, 1, 1), (0, 0, 0)) == 0.0

@@ -1,0 +1,44 @@
+"""Unit tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_scenes_command(self, capsys):
+        assert main(["--detail", "0.3", "scenes"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SB", "SP", "LE", "LR", "FR", "BI", "CK"):
+            assert code in out
+
+    def test_quick_command(self, capsys):
+        assert main(["--detail", "0.3", "quick", "FR", "--size", "12", "--spp", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "predictor" in out
+
+    def test_limit_command(self, capsys):
+        assert main([
+            "--detail", "0.3", "limit", "FR",
+            "--size", "10", "--spp", "1", "--rays", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "oracle_lookup" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_report_command(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig12_speedup.txt").write_text("data\n")
+        out = tmp_path / "REPORT.md"
+        assert main(["report", "--results", str(results), "--output", str(out)]) == 0
+        assert out.exists()
+        assert "Figure 12" in out.read_text()

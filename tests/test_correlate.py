@@ -1,0 +1,52 @@
+"""Unit tests for the Figure 11 correlation machinery."""
+
+import pytest
+
+from repro.analysis.correlate import (
+    CorrelationPoint,
+    hardware_proxy_rays_per_cycle,
+    run_correlation,
+)
+from repro.analysis.experiments import ExperimentContext
+
+
+class TestRunCorrelation:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        context = ExperimentContext()
+        # Two scenes at reduced detail keep this a unit-test-sized run.
+        for code in ("FR", "LE"):
+            context.scene(code, detail=0.4)
+            # Pre-seed the cache at the reduced detail so run_correlation
+            # (which uses detail=1.0 lookups) stays small: build directly.
+        return run_correlation(context, ["FR", "LE"], width=16, height=16)
+
+    def test_point_count(self, outcome):
+        points, _ = outcome
+        # 2 scenes x up to 2 ray types (reflection may be empty).
+        assert 2 <= len(points) <= 4
+        assert all(isinstance(p, CorrelationPoint) for p in points)
+
+    def test_throughputs_positive(self, outcome):
+        points, _ = outcome
+        for p in points:
+            assert p.simulated_rays_per_cycle > 0
+            assert p.proxy_rays_per_cycle > 0
+
+    def test_correlation_in_range(self, outcome):
+        _, correlation = outcome
+        assert -1.0 <= correlation <= 1.0
+
+
+class TestProxyModel:
+    def test_scale_invariance_of_ordering(self):
+        # Doubling all work inputs preserves the throughput ordering.
+        light = hardware_proxy_rays_per_cycle(1_000, 20.0, 10, False)
+        heavy = hardware_proxy_rays_per_cycle(1_000_000, 40.0, 25, False)
+        assert light > heavy
+
+    def test_triangle_count_matters_weakly(self):
+        few = hardware_proxy_rays_per_cycle(1_000, 30.0, 15, False)
+        many = hardware_proxy_rays_per_cycle(100_000, 30.0, 15, False)
+        assert many < few
+        assert many > 0.5 * few  # weak (logarithmic) dependence

@@ -1,0 +1,128 @@
+"""Edge cases and failure injection across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_bvh
+from repro.core import PredictorConfig, RayPredictor, simulate_predictor
+from repro.geometry.ray import Ray, RayBatch
+from repro.geometry.triangle import TriangleMesh
+from repro.gpu import GPUConfig, simulate_workload
+from repro.trace import closest_hit, occlusion_any_hit
+
+PC = PredictorConfig(origin_bits=3, direction_bits=2, go_up_level=2)
+
+
+@pytest.fixture(scope="module")
+def single_tri_bvh():
+    mesh = TriangleMesh(
+        np.array([[0.0, 0.0, 0.0]]),
+        np.array([[1.0, 0.0, 0.0]]),
+        np.array([[0.0, 1.0, 0.0]]),
+    )
+    return build_bvh(mesh)
+
+
+class TestDegenerateBVHs:
+    def test_single_triangle_root_is_leaf(self, single_tri_bvh):
+        assert single_tri_bvh.num_nodes == 1
+        assert single_tri_bvh.is_leaf(0)
+
+    def test_traversal_of_leaf_root(self, single_tri_bvh):
+        hit_ray = Ray((0.2, 0.2, -1.0), (0.0, 0.0, 1.0), 0.0, 10.0)
+        miss_ray = Ray((5.0, 5.0, -1.0), (0.0, 0.0, 1.0), 0.0, 10.0)
+        assert occlusion_any_hit(single_tri_bvh, hit_ray)
+        assert not occlusion_any_hit(single_tri_bvh, miss_ray)
+        t, tri = closest_hit(single_tri_bvh, hit_ray)
+        assert tri == 0 and t == pytest.approx(1.0)
+
+    def test_timing_sim_on_leaf_root(self, single_tri_bvh):
+        rays = RayBatch(
+            np.array([[0.2, 0.2, -1.0], [5.0, 5.0, -1.0]]),
+            np.array([[0.0, 0.0, 1.0], [0.0, 0.0, 1.0]]),
+            t_max=10.0,
+        )
+        out = simulate_workload(single_tri_bvh, rays, GPUConfig(num_sms=1))
+        assert out.rays == 2
+        assert sum(r.hits for r in out.per_sm) == 1
+
+    def test_predictor_on_leaf_root(self, single_tri_bvh):
+        predictor = RayPredictor(single_tri_bvh, PC)
+        # Go Up Level clamps at the root, which IS the leaf.
+        assert predictor.trained_node_for(0) == 0
+
+
+class TestEmptyAndTinyWorkloads:
+    def test_empty_ray_batch(self, small_bvh):
+        empty = RayBatch(np.zeros((0, 3)), np.zeros((0, 3)))
+        out = simulate_workload(small_bvh, empty, GPUConfig(num_sms=2))
+        assert out.rays == 0
+        assert out.cycles == 0
+
+    def test_empty_functional_sim(self, small_bvh):
+        empty = RayBatch(np.zeros((0, 3)), np.zeros((0, 3)))
+        result = simulate_predictor(small_bvh, empty, PC)
+        assert result.num_rays == 0
+        assert result.memory_savings == 0.0
+
+    def test_partial_warp(self, small_bvh, small_workload):
+        rays = small_workload.rays.subset(np.arange(5))
+        out = simulate_workload(
+            small_bvh, rays, GPUConfig(num_sms=1, predictor=PC)
+        )
+        assert out.rays == 5
+        assert out.cycles > 0
+
+    def test_single_ray(self, small_bvh, small_workload):
+        rays = small_workload.rays.subset([0])
+        out = simulate_workload(small_bvh, rays, GPUConfig(num_sms=1))
+        assert out.rays == 1
+
+    def test_more_sms_than_warps(self, small_bvh, small_workload):
+        rays = small_workload.rays.subset(np.arange(40))
+        out = simulate_workload(small_bvh, rays, GPUConfig(num_sms=4))
+        assert out.rays == 40
+
+
+class TestDegenerateRays:
+    def test_zero_length_interval(self, small_bvh):
+        ray = Ray((4.0, 2.0, 3.0), (1.0, 0.0, 0.0), 1.0, 1.0)
+        assert not occlusion_any_hit(small_bvh, ray)
+
+    def test_axis_aligned_rays(self, small_bvh):
+        # Rays with two zero direction components (infinite inv-direction).
+        for axis in range(3):
+            direction = [0.0, 0.0, 0.0]
+            direction[axis] = 1.0
+            ray = Ray((4.0, 2.0, 3.0), tuple(direction), 0.0, 100.0)
+            occlusion_any_hit(small_bvh, ray)  # must not raise
+
+    def test_ray_starting_exactly_on_bbox_corner(self, small_bvh):
+        corner = small_bvh.root_aabb().lo
+        ray = Ray(corner, (1.0, 1.0, 1.0), 0.0, 100.0)
+        occlusion_any_hit(small_bvh, ray)  # must not raise
+
+
+class TestTableStress:
+    def test_many_updates_never_overflow(self, small_bvh):
+        predictor = RayPredictor(small_bvh, PC)
+        rng = np.random.default_rng(0)
+        max_tri = small_bvh.num_triangles - 1
+        for _ in range(5000):
+            predictor.train(int(rng.integers(0, 1 << 9)), int(rng.integers(0, max_tri)))
+        assert predictor.table.occupancy() <= 1.0
+        # Every stored node index must be a valid node.
+        for node in predictor.table.iter_nodes():
+            assert 0 <= node < small_bvh.num_nodes
+
+    def test_prediction_after_heavy_aliasing_still_safe(self, small_bvh, small_workload):
+        """Adversarial config: 1-bit hashes alias everything; results must
+        stay correct because predictions are only speculation."""
+        config = PredictorConfig(origin_bits=1, direction_bits=1, go_up_level=2)
+        from repro.trace import trace_occlusion_batch
+
+        reference = trace_occlusion_batch(small_bvh, small_workload.rays)
+        out = simulate_workload(
+            small_bvh, small_workload.rays, GPUConfig(num_sms=1, predictor=config)
+        )
+        assert sum(r.hits for r in out.per_sm) == int(reference.sum())

@@ -1,0 +1,93 @@
+"""Unit tests for the energy model (Table 4)."""
+
+import pytest
+
+from repro.core import PredictorConfig
+from repro.energy import EnergyModel, sram_access_energy_pj, sram_leakage_mw
+from repro.gpu import GPUConfig, simulate_workload
+
+PC = PredictorConfig(origin_bits=3, direction_bits=2, go_up_level=2)
+
+
+class TestCacti:
+    def test_energy_grows_with_capacity(self):
+        assert sram_access_energy_pj(64 * 1024) > sram_access_energy_pj(4 * 1024)
+
+    def test_energy_grows_with_width(self):
+        assert sram_access_energy_pj(4096, 256) > sram_access_energy_pj(4096, 32)
+
+    def test_kb_scale_magnitude(self):
+        # KB-scale arrays: single-digit pJ at 45 nm.
+        e = sram_access_energy_pj(5632, width_bits=43)  # the predictor table
+        assert 0.5 < e < 20.0
+
+    def test_leakage_scales_linearly(self):
+        assert sram_leakage_mw(2048) == pytest.approx(2 * sram_leakage_mw(1024))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sram_access_energy_pj(0)
+        with pytest.raises(ValueError):
+            sram_access_energy_pj(1024, 0)
+        with pytest.raises(ValueError):
+            sram_leakage_mw(-1)
+
+
+@pytest.fixture(scope="module")
+def sims(small_bvh, small_workload):
+    baseline = simulate_workload(small_bvh, small_workload.rays, GPUConfig(num_sms=1))
+    predicted = simulate_workload(
+        small_bvh, small_workload.rays, GPUConfig(num_sms=1, predictor=PC)
+    )
+    return baseline, predicted
+
+
+class TestBreakdown:
+    def test_components_nonnegative(self, sims):
+        baseline, _ = sims
+        breakdown = EnergyModel().breakdown(baseline)
+        for name, value in breakdown.as_dict().items():
+            assert value >= 0.0, name
+
+    def test_total_is_sum(self, sims):
+        baseline, _ = sims
+        b = EnergyModel().breakdown(baseline)
+        parts = b.as_dict()
+        assert parts["Total"] == pytest.approx(
+            sum(v for k, v in parts.items() if k != "Total")
+        )
+
+    def test_baseline_has_no_predictor_energy(self, sims):
+        baseline, _ = sims
+        b = EnergyModel().breakdown(baseline)
+        assert b.predictor_table == 0.0
+        assert b.warp_repacking == 0.0
+
+    def test_predictor_run_pays_table_energy(self, sims):
+        _, predicted = sims
+        b = EnergyModel(PC).breakdown(predicted)
+        assert b.predictor_table > 0.0
+
+    def test_base_gpu_dominates(self, sims):
+        """Table 4's shape: the base GPU (incl. DRAM) dwarfs the additions."""
+        baseline, _ = sims
+        b = EnergyModel().breakdown(baseline)
+        additions = b.total - b.base_gpu
+        assert b.base_gpu > 10 * additions
+
+    def test_predictor_overhead_small_relative_to_total(self, sims):
+        """The predictor's own structures must be a tiny fraction (Table 4:
+        +0.07 nJ vs 296 nJ/ray)."""
+        _, predicted = sims
+        b = EnergyModel(PC).breakdown(predicted)
+        overhead = b.predictor_table + b.warp_repacking
+        assert overhead < 0.05 * b.total
+
+    def test_delta_keys(self, sims):
+        baseline, predicted = sims
+        model = EnergyModel(PC)
+        delta = model.breakdown(baseline).delta(model.breakdown(predicted))
+        assert set(delta) == {
+            "Base GPU", "Predictor table", "Warp repacking",
+            "Traversal stack", "Ray buffer", "Ray intersections", "Total",
+        }

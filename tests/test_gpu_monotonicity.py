@@ -1,0 +1,81 @@
+"""Directional (monotonicity) checks on the timing model.
+
+Small workloads, coarse assertions: the simulator must respond to each
+architectural knob in the physically sensible direction.  These guard
+against regressions in the discrete-event core that unit tests on
+individual components would miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GPUConfig, simulate_workload
+from repro.gpu.config import CacheConfig, DRAMConfig, MemoryConfig, RTUnitConfig
+
+
+@pytest.fixture(scope="module")
+def rays(small_workload):
+    return small_workload.rays.subset(np.arange(min(256, len(small_workload))))
+
+
+def run(bvh, rays, **overrides):
+    return simulate_workload(bvh, rays, GPUConfig(num_sms=1, **overrides))
+
+
+class TestMemoryKnobs:
+    def test_slower_dram_never_faster(self, small_bvh, rays):
+        fast = run(small_bvh, rays, memory=MemoryConfig(dram=DRAMConfig(latency=40)))
+        slow = run(small_bvh, rays, memory=MemoryConfig(dram=DRAMConfig(latency=400)))
+        assert slow.cycles >= fast.cycles
+
+    def test_fewer_banks_never_faster(self, small_bvh, rays):
+        many = run(small_bvh, rays, memory=MemoryConfig(dram=DRAMConfig(num_banks=16)))
+        one = run(small_bvh, rays, memory=MemoryConfig(dram=DRAMConfig(num_banks=1)))
+        assert one.cycles >= many.cycles
+
+    def test_slower_l2_never_faster(self, small_bvh, rays):
+        fast = run(
+            small_bvh, rays,
+            memory=MemoryConfig(l2=CacheConfig(size_bytes=32 * 1024, latency=10)),
+        )
+        slow = run(
+            small_bvh, rays,
+            memory=MemoryConfig(l2=CacheConfig(size_bytes=32 * 1024, latency=120)),
+        )
+        assert slow.cycles >= fast.cycles
+
+    def test_more_ports_never_slower(self, small_bvh, rays):
+        narrow = run(small_bvh, rays, memory=MemoryConfig(l1_ports=1))
+        wide = run(small_bvh, rays, memory=MemoryConfig(l1_ports=8))
+        assert wide.cycles <= narrow.cycles
+
+
+class TestRTUnitKnobs:
+    def test_more_resident_warps_never_slower(self, small_bvh, rays):
+        few = run(small_bvh, rays, rt_unit=RTUnitConfig(max_warps=2))
+        many = run(small_bvh, rays, rt_unit=RTUnitConfig(max_warps=16))
+        assert many.cycles <= few.cycles
+
+    def test_stack_spill_penalty_never_helps(self, small_bvh, rays):
+        cheap = run(
+            small_bvh, rays,
+            rt_unit=RTUnitConfig(stack_entries=2, stack_spill_penalty=0),
+        )
+        costly = run(
+            small_bvh, rays,
+            rt_unit=RTUnitConfig(stack_entries=2, stack_spill_penalty=32),
+        )
+        assert costly.cycles >= cheap.cycles
+
+    def test_results_invariant_to_timing_knobs(self, small_bvh, rays):
+        """Timing parameters must never change *what* is computed."""
+        variants = [
+            run(small_bvh, rays),
+            run(small_bvh, rays, memory=MemoryConfig(dram=DRAMConfig(latency=500))),
+            run(small_bvh, rays, rt_unit=RTUnitConfig(max_warps=1)),
+            run(small_bvh, rays, rt_unit=RTUnitConfig(warp_barrier=True)),
+        ]
+        hits = {sum(r.hits for r in v.per_sm) for v in variants}
+        fetches = {v.node_fetches for v in variants}
+        assert len(hits) == 1
+        assert len(fetches) == 1

@@ -1,0 +1,169 @@
+"""Unit tests for the ray hash functions (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import (
+    GridSphericalHash,
+    TwoPointHash,
+    fold_hash,
+    grid_hash,
+    make_hasher,
+    quantize,
+)
+from repro.geometry.aabb import AABB
+
+BOX = AABB((0.0, 0.0, 0.0), (10.0, 10.0, 10.0))
+
+
+class TestFold:
+    def test_narrow_hash_passthrough(self):
+        assert fold_hash(0b101, 3, 8) == 0b101
+
+    def test_fold_xors_chunks(self):
+        # 6-bit value folded to 3 bits: high chunk xor low chunk.
+        value = 0b101_011
+        assert fold_hash(value, 6, 3) == (0b101 ^ 0b011)
+
+    def test_fold_is_deterministic_and_bounded(self):
+        for value in range(0, 1 << 12, 37):
+            folded = fold_hash(value, 12, 5)
+            assert 0 <= folded < 32
+            assert folded == fold_hash(value, 12, 5)
+
+    def test_invalid_out_bits(self):
+        with pytest.raises(ValueError):
+            fold_hash(1, 4, 0)
+
+
+class TestQuantize:
+    def test_endpoints(self):
+        assert quantize(0.0, 0.0, 1.0, 4) == 0
+        assert quantize(1.0, 0.0, 1.0, 4) == 15
+
+    def test_clamps(self):
+        assert quantize(-5.0, 0.0, 1.0, 4) == 0
+        assert quantize(5.0, 0.0, 1.0, 4) == 15
+
+    def test_degenerate_range(self):
+        assert quantize(3.0, 2.0, 2.0, 4) == 0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize(0.5, 0, 1, 0)
+
+
+class TestGridHash:
+    def test_width(self):
+        h = grid_hash((10, 10, 10), (0, 0, 0), (10, 10, 10), 5)
+        assert h == (31 << 10) | (31 << 5) | 31
+
+    def test_spatial_locality(self):
+        a = grid_hash((1.0, 1.0, 1.0), BOX.lo, BOX.hi, 4)
+        b = grid_hash((1.01, 1.0, 1.0), BOX.lo, BOX.hi, 4)
+        c = grid_hash((9.0, 9.0, 9.0), BOX.lo, BOX.hi, 4)
+        assert a == b  # same cell
+        assert a != c
+
+
+class TestGridSpherical:
+    def test_hash_width(self):
+        hasher = GridSphericalHash(BOX, origin_bits=5, direction_bits=3)
+        assert hasher.bits == 15
+        h = hasher.hash_ray((5, 5, 5), (0, 1, 0))
+        assert 0 <= h < (1 << 15)
+
+    def test_similar_rays_collide(self):
+        hasher = GridSphericalHash(BOX, origin_bits=4, direction_bits=2)
+        a = hasher.hash_ray((5.0, 5.0, 5.0), (0.0, 1.0, 0.0))
+        b = hasher.hash_ray((5.05, 5.0, 5.0), (0.02, 0.999, 0.0))
+        assert a == b
+
+    def test_different_origins_differ(self):
+        hasher = GridSphericalHash(BOX, origin_bits=4, direction_bits=2)
+        a = hasher.hash_ray((1.0, 1.0, 1.0), (0.0, 1.0, 0.0))
+        b = hasher.hash_ray((9.0, 9.0, 9.0), (0.0, 1.0, 0.0))
+        assert a != b
+
+    def test_opposite_directions_differ(self):
+        hasher = GridSphericalHash(BOX, origin_bits=4, direction_bits=3)
+        a = hasher.hash_ray((5.0, 5.0, 5.0), (0.0, 1.0, 0.0))
+        b = hasher.hash_ray((5.0, 5.0, 5.0), (0.0, -1.0, 0.0))
+        assert a != b
+
+    def test_batch_matches_scalar(self):
+        hasher = GridSphericalHash(BOX, origin_bits=5, direction_bits=3)
+        rng = np.random.default_rng(3)
+        origins = rng.uniform(0, 10, (300, 3))
+        directions = rng.normal(size=(300, 3))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        batch = hasher.hash_batch(origins, directions)
+        for i in range(0, 300, 7):
+            assert int(batch[i]) == hasher.hash_ray(
+                tuple(origins[i]), tuple(directions[i])
+            ), i
+
+    def test_pole_directions_stable(self):
+        hasher = GridSphericalHash(BOX, origin_bits=4, direction_bits=3)
+        for d in [(0, 1, 0), (0, -1, 0), (1, 0, 0), (0, 0, 1)]:
+            h = hasher.hash_ray((5, 5, 5), d)
+            assert 0 <= h < (1 << hasher.bits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridSphericalHash(BOX, origin_bits=0)
+        with pytest.raises(ValueError):
+            GridSphericalHash(BOX, direction_bits=8)
+
+
+class TestTwoPoint:
+    def test_hash_width(self):
+        hasher = TwoPointHash(BOX, origin_bits=5, length_ratio=0.15)
+        assert hasher.bits == 15
+
+    def test_similar_rays_collide(self):
+        hasher = TwoPointHash(BOX, origin_bits=4, length_ratio=0.15)
+        a = hasher.hash_ray((5.0, 5.0, 5.0), (0.0, 1.0, 0.0))
+        b = hasher.hash_ray((5.02, 5.0, 5.0), (0.01, 0.999, 0.0))
+        assert a == b
+
+    def test_length_ratio_changes_hash_distribution(self):
+        rng = np.random.default_rng(4)
+        origins = rng.uniform(0, 10, (200, 3))
+        directions = rng.normal(size=(200, 3))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        short = TwoPointHash(BOX, origin_bits=5, length_ratio=0.05)
+        long = TwoPointHash(BOX, origin_bits=5, length_ratio=0.35)
+        assert not np.array_equal(
+            short.hash_batch(origins, directions), long.hash_batch(origins, directions)
+        )
+
+    def test_batch_matches_scalar(self):
+        hasher = TwoPointHash(BOX, origin_bits=5, length_ratio=0.15)
+        rng = np.random.default_rng(5)
+        origins = rng.uniform(0, 10, (100, 3))
+        directions = rng.normal(size=(100, 3))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        batch = hasher.hash_batch(origins, directions)
+        for i in range(0, 100, 11):
+            assert int(batch[i]) == hasher.hash_ray(
+                tuple(origins[i]), tuple(directions[i])
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoPointHash(BOX, origin_bits=0)
+        with pytest.raises(ValueError):
+            TwoPointHash(BOX, length_ratio=0.0)
+
+
+class TestFactory:
+    def test_grid_spherical(self):
+        assert isinstance(make_hasher("grid_spherical", BOX), GridSphericalHash)
+
+    def test_two_point(self):
+        assert isinstance(make_hasher("two_point", BOX), TwoPointHash)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_hasher("sha256", BOX)

@@ -1,0 +1,114 @@
+"""Integration tests: full pipelines across modules.
+
+These exercise the same paths the benchmark harness uses, at reduced
+sizes, and assert the *directional* results the paper reports (the
+benchmarks reproduce the magnitudes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentContext, WorkloadParams
+from repro.core import (
+    OracleKind,
+    PredictorConfig,
+    run_limit_study,
+    simulate_predictor,
+)
+from repro.energy import EnergyModel
+from repro.gpu import GPUConfig, simulate_workload
+from repro.rays import morton_sort_rays
+from repro.render import render_ao, write_ppm
+
+PC = PredictorConfig(
+    origin_bits=4, direction_bits=3, go_up_level=2, nodes_per_entry=2, extra_warps=4
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext()
+
+
+PARAMS = WorkloadParams(width=32, height=32, spp=4, seed=1, detail=0.6)
+
+
+class TestEndToEndPredictor:
+    def test_functional_and_timing_sims_agree_on_rates(self, context):
+        bvh = context.bvh("SP", PARAMS.detail)
+        rays = context.rays("SP", PARAMS)
+        functional = simulate_predictor(bvh, rays, PC)
+        timing = simulate_workload(
+            bvh, rays, GPUConfig(num_sms=1, predictor=PC)
+        )
+        # Same mechanism, different update timing: rates must be close.
+        assert abs(functional.predicted_rate - timing.predicted_rate) < 0.15
+        assert abs(functional.verified_rate - timing.verified_rate) < 0.10
+        assert functional.hit_rate == pytest.approx(timing.hit_rate)
+
+    def test_predictor_reduces_memory_accesses(self, context):
+        base = context.baseline("SP", PARAMS)
+        pred = context.predicted("SP", PC, PARAMS)
+        assert pred.total_accesses < base.total_accesses
+
+    def test_predictor_speeds_up_dense_scene(self, context):
+        assert context.speedup("LR", PC, PARAMS) > 1.0
+
+    def test_sorted_rays_benefit_less(self, context):
+        unsorted = context.speedup("LR", PC, PARAMS)
+        sorted_ = context.speedup("LR", PC, PARAMS, sort=True)
+        assert sorted_ < unsorted * 1.05  # allow small noise margin
+
+    def test_repacking_orders_as_paper(self, context):
+        """Figure 15: Repack+extra >= Repack >= Default (scaled shapes)."""
+        base = context.baseline("LR", PARAMS)
+        default = context.predicted(
+            "LR", PC.with_overrides(repack=False, extra_warps=0), PARAMS
+        )
+        repack4 = context.predicted("LR", PC, PARAMS)
+        assert base.cycles / repack4.cycles > base.cycles / default.cycles
+
+
+class TestLimitStudyIntegration:
+    def test_oracles_bound_proposal_on_real_scene(self, context):
+        bvh = context.bvh("SP", PARAMS.detail)
+        rays = context.rays("SP", PARAMS).subset(np.arange(1500))
+        study = run_limit_study(bvh, rays, PC)
+        proposed = study[OracleKind.PROPOSED]
+        ol = study[OracleKind.ORACLE_LOOKUP]
+        ot = study[OracleKind.ORACLE_TRAINING]
+        assert proposed.verified_rate <= ol.verified_rate <= ot.verified_rate + 1e-9
+        assert ol.memory_savings > proposed.memory_savings
+
+
+class TestEnergyIntegration:
+    def test_predictor_saves_energy_when_faster(self, context):
+        """Table 4: shorter execution outweighs the predictor's overhead."""
+        base = context.baseline("LR", PARAMS)
+        pred = context.predicted("LR", PC, PARAMS)
+        model = EnergyModel(PC)
+        base_energy = model.breakdown(base).total
+        pred_energy = model.breakdown(pred).total
+        if pred.cycles < base.cycles:
+            assert pred_energy < base_energy
+
+
+class TestMultiSM:
+    def test_more_sms_fewer_prediction_opportunities(self, context):
+        """Section 6.2.5: per-SM tables see fewer rays each."""
+        bvh = context.bvh("SP", PARAMS.detail)
+        rays = context.rays("SP", PARAMS)
+        few = simulate_workload(bvh, rays, GPUConfig(num_sms=1, predictor=PC))
+        many = simulate_workload(bvh, rays, GPUConfig(num_sms=6, predictor=PC))
+        assert many.verified_rate <= few.verified_rate + 0.02
+
+
+class TestRenderIntegration:
+    def test_ao_render_and_save(self, context, tmp_path):
+        scene = context.scene("FR", 0.6)
+        bvh = context.bvh("FR", 0.6)
+        result = render_ao(scene, bvh, width=24, height=24, spp=2, seed=2)
+        out = tmp_path / "ao.ppm"
+        write_ppm(out, result.image)
+        assert out.stat().st_size > 24 * 24 * 3
+        assert 0.0 < result.image.mean() < 1.0

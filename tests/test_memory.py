@@ -1,0 +1,97 @@
+"""Unit tests for the memory hierarchy composition (L1 -> L2 -> DRAM)."""
+
+import pytest
+
+from repro.gpu.cache import Cache
+from repro.gpu.config import CacheConfig, DRAMConfig, MemoryConfig
+from repro.gpu.dram import DRAM
+from repro.gpu.memory import MemoryHierarchy
+
+
+def make(l1_kb=4, l2_kb=32, ports=2, dram_latency=120):
+    return MemoryHierarchy(
+        MemoryConfig(
+            l1=CacheConfig(size_bytes=l1_kb * 1024),
+            l2=CacheConfig(size_bytes=l2_kb * 1024, latency=30),
+            dram=DRAMConfig(latency=dram_latency),
+            l1_ports=ports,
+        )
+    )
+
+
+class TestLatencyComposition:
+    def test_cold_access_goes_to_dram(self):
+        mem = make()
+        result = mem.access_line(7, now=0)
+        assert not result.l1_hit and not result.l2_hit
+        # L2 latency + DRAM latency.
+        assert result.ready_at == 30 + 120
+
+    def test_second_access_hits_l1(self):
+        mem = make()
+        mem.access_line(7, now=0)
+        result = mem.access_line(7, now=500)
+        assert result.l1_hit
+        assert result.ready_at == 501
+
+    def test_l2_hit_after_l1_eviction(self):
+        mem = make(l1_kb=4)
+        lines_in_l1 = mem.config.l1.num_lines
+        mem.access_line(0, now=0)
+        # Thrash L1 set-by-set until line 0 is evicted from L1 only.
+        for i in range(1, 20 * lines_in_l1):
+            mem.access_line(i * mem.config.l1.num_sets, now=i)
+        result = mem.access_line(0, now=10_000)
+        assert not result.l1_hit
+        # Depending on L2 capacity it may hit L2; it must not be faster
+        # than an L2 access.
+        assert result.ready_at >= 10_000 + 30 or result.l2_hit
+
+    def test_shared_l2_between_hierarchies(self):
+        config = MemoryConfig()
+        l2 = Cache(config.l2)
+        dram = DRAM(config.dram)
+        a = MemoryHierarchy(config, l2=l2, dram=dram)
+        b = MemoryHierarchy(config, l2=l2, dram=dram)
+        a.access_line(5, now=0)
+        result = b.access_line(5, now=0)
+        assert not result.l1_hit  # private L1
+        assert result.l2_hit  # shared L2
+
+
+class TestPort:
+    def test_port_serializes_same_cycle(self):
+        mem = make(ports=1)
+        first = mem.access_line(100, now=0)
+        second = mem.access_line(101, now=0)
+        # Second request issues one cycle later.
+        assert second.ready_at >= first.ready_at
+        assert mem.port_wait_cycles >= 1
+
+    def test_wider_port_accepts_more_per_cycle(self):
+        narrow = make(ports=1)
+        wide = make(ports=4)
+        for m in (narrow, wide):
+            for i in range(4):
+                m.access_line(200 + i * 1000, now=0)
+        assert wide.port_wait_cycles < narrow.port_wait_cycles
+
+    def test_port_counts(self):
+        mem = make()
+        for i in range(5):
+            mem.access_line(i * 64, now=i * 10)
+        assert mem.port_issues == 5
+
+    def test_scheduler_slot_serializes(self):
+        mem = make()
+        a = mem.acquire_scheduler_slot(10)
+        b = mem.acquire_scheduler_slot(10)
+        c = mem.acquire_scheduler_slot(50)
+        assert a == 10
+        assert b == 11
+        assert c == 50
+
+    def test_line_of(self):
+        mem = make()
+        assert mem.line_of(0) == 0
+        assert mem.line_of(129) == 1

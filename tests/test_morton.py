@@ -1,0 +1,61 @@
+"""Unit tests for Morton encoding."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.morton import morton_codes, morton_decode_3d, morton_encode_3d
+
+
+class TestEncodeDecode:
+    def test_zero(self):
+        assert morton_encode_3d(0, 0, 0) == 0
+
+    def test_unit_axes(self):
+        assert morton_encode_3d(1, 0, 0) == 0b001
+        assert morton_encode_3d(0, 1, 0) == 0b010
+        assert morton_encode_3d(0, 0, 1) == 0b100
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            x, y, z = (int(v) for v in rng.integers(0, 2**21, 3))
+            assert morton_decode_3d(morton_encode_3d(x, y, z)) == (x, y, z)
+
+    def test_monotone_in_each_axis(self):
+        # Increasing one coordinate increases the code.
+        assert morton_encode_3d(2, 3, 4) < morton_encode_3d(3, 3, 4)
+        assert morton_encode_3d(2, 3, 4) < morton_encode_3d(2, 4, 4)
+        assert morton_encode_3d(2, 3, 4) < morton_encode_3d(2, 3, 5)
+
+
+class TestMortonCodes:
+    def test_corners(self):
+        pts = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+        codes = morton_codes(pts, np.zeros(3), np.ones(3), bits=4)
+        assert codes[0] == 0
+        assert codes[1] == morton_encode_3d(15, 15, 15)
+
+    def test_locality(self):
+        # Nearby points get closer codes than distant points, on average.
+        pts = np.array([[0.1, 0.1, 0.1], [0.12, 0.1, 0.1], [0.9, 0.9, 0.9]])
+        codes = morton_codes(pts, np.zeros(3), np.ones(3), bits=10).astype(np.int64)
+        assert abs(codes[0] - codes[1]) < abs(codes[0] - codes[2])
+
+    def test_clamps_out_of_range(self):
+        pts = np.array([[-1.0, 2.0, 0.5]])
+        codes = morton_codes(pts, np.zeros(3), np.ones(3), bits=4)
+        # Quantization scales by 2^bits - 1, so 0.5 maps to cell 7.
+        expected = morton_encode_3d(0, 15, 7)
+        assert codes[0] == expected
+
+    def test_degenerate_extent(self):
+        pts = np.array([[0.5, 0.5, 0.5]])
+        codes = morton_codes(pts, np.zeros(3), np.array([1.0, 0.0, 1.0]), bits=4)
+        assert codes.shape == (1,)
+
+    def test_bits_validation(self):
+        pts = np.zeros((1, 3))
+        with pytest.raises(ValueError):
+            morton_codes(pts, np.zeros(3), np.ones(3), bits=0)
+        with pytest.raises(ValueError):
+            morton_codes(pts, np.zeros(3), np.ones(3), bits=22)

@@ -1,0 +1,104 @@
+"""Unit tests for the OBJ loader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.scenes.obj import load_obj, save_obj
+from repro.scenes.scene import CameraSpec, Scene
+
+
+OBJ_SIMPLE = """\
+# comment
+v 0 0 0
+v 1 0 0
+v 0 1 0
+v 1 1 0
+f 1 2 3
+f 2 4 3
+"""
+
+OBJ_QUAD_FACE = """\
+v 0 0 0
+v 1 0 0
+v 1 1 0
+v 0 1 0
+f 1 2 3 4
+"""
+
+OBJ_SLASHES = """\
+v 0 0 0
+v 1 0 0
+v 0 1 0
+vt 0 0
+vn 0 0 1
+f 1/1/1 2/1/1 3/1/1
+"""
+
+OBJ_NEGATIVE = """\
+v 0 0 0
+v 1 0 0
+v 0 1 0
+f -3 -2 -1
+"""
+
+
+class TestLoadObj:
+    def test_simple(self, tmp_path):
+        path = tmp_path / "a.obj"
+        path.write_text(OBJ_SIMPLE)
+        scene = load_obj(path)
+        assert scene.num_triangles == 2
+
+    def test_quad_fan_triangulation(self, tmp_path):
+        path = tmp_path / "q.obj"
+        path.write_text(OBJ_QUAD_FACE)
+        scene = load_obj(path)
+        assert scene.num_triangles == 2
+
+    def test_slash_indices(self, tmp_path):
+        path = tmp_path / "s.obj"
+        path.write_text(OBJ_SLASHES)
+        assert load_obj(path).num_triangles == 1
+
+    def test_negative_indices(self, tmp_path):
+        path = tmp_path / "n.obj"
+        path.write_text(OBJ_NEGATIVE)
+        scene = load_obj(path)
+        assert scene.num_triangles == 1
+        assert np.allclose(scene.mesh.v1[0], [1, 0, 0])
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "castle.obj"
+        path.write_text(OBJ_SIMPLE)
+        assert load_obj(path).name == "castle"
+
+    def test_empty_raises(self, tmp_path):
+        path = tmp_path / "e.obj"
+        path.write_text("v 0 0 0\n")
+        with pytest.raises(ValueError):
+            load_obj(path)
+
+    def test_out_of_range_index_raises(self, tmp_path):
+        path = tmp_path / "bad.obj"
+        path.write_text("v 0 0 0\nf 1 2 3\n")
+        with pytest.raises(ValueError):
+            load_obj(path)
+
+    def test_camera_looks_at_center(self, tmp_path):
+        path = tmp_path / "c.obj"
+        path.write_text(OBJ_SIMPLE)
+        scene = load_obj(path)
+        center = scene.aabb().center()
+        assert np.allclose(scene.camera.look_at, center)
+
+
+class TestRoundTrip:
+    def test_save_and_reload(self, tmp_path, tiny_mesh):
+        scene = Scene("t", "T", tiny_mesh, CameraSpec((0, 0, 5), (0, 0, 0)))
+        path = tmp_path / "round.obj"
+        save_obj(scene, path)
+        loaded = load_obj(path)
+        assert loaded.num_triangles == 2
+        assert np.allclose(
+            sorted(loaded.mesh.v0.ravel()), sorted(tiny_mesh.v0.ravel())
+        )

@@ -1,0 +1,89 @@
+"""Unit tests for the limit-study oracles (Section 6.3)."""
+
+import pytest
+
+from repro.core import OracleKind, PredictorConfig, run_limit_study
+from repro.core.oracle import ancestor_closure
+
+
+CFG = PredictorConfig(origin_bits=3, direction_bits=2, go_up_level=2)
+
+
+class TestAncestorClosure:
+    def test_empty(self, small_bvh):
+        assert ancestor_closure(small_bvh, []) == set()
+
+    def test_contains_root_and_leaf(self, small_bvh):
+        leaf = int(small_bvh.leaf_nodes()[0])
+        closure = ancestor_closure(small_bvh, [leaf])
+        assert leaf in closure
+        assert 0 in closure
+
+    def test_size_is_depth_plus_one(self, small_bvh):
+        leaf = int(small_bvh.leaf_nodes()[0])
+        depth = int(small_bvh.depths()[leaf])
+        assert len(ancestor_closure(small_bvh, [leaf])) == depth + 1
+
+    def test_union_of_leaves(self, small_bvh):
+        leaves = small_bvh.leaf_nodes()[:2]
+        combined = ancestor_closure(small_bvh, leaves)
+        separate = ancestor_closure(small_bvh, [leaves[0]]) | ancestor_closure(
+            small_bvh, [leaves[1]]
+        )
+        assert combined == separate
+
+
+@pytest.fixture(scope="module")
+def study(small_bvh, small_workload):
+    return run_limit_study(small_bvh, small_workload.rays, CFG, in_flight=64)
+
+
+class TestLimitStudy:
+    def test_all_kinds_present(self, study):
+        assert set(study) == set(OracleKind)
+
+    def test_oracles_never_mispredict(self, study):
+        for kind in (
+            OracleKind.ORACLE_LOOKUP,
+            OracleKind.ORACLE_TRAINING,
+            OracleKind.ORACLE_UPDATES,
+        ):
+            result = study[kind]
+            assert result.predicted == result.verified
+            assert result.misprediction_node_fetches == 0
+
+    def test_verified_bounded_by_hits(self, study):
+        for result in study.values():
+            assert result.verified <= result.hits
+
+    def test_oracle_hierarchy(self, study):
+        """Each relaxation can only verify more rays (Figure 2's shape)."""
+        proposed = study[OracleKind.PROPOSED].verified
+        ol = study[OracleKind.ORACLE_LOOKUP].verified
+        ot = study[OracleKind.ORACLE_TRAINING].verified
+        ou = study[OracleKind.ORACLE_UPDATES].verified
+        assert proposed <= ol
+        assert ol <= ot
+        assert ot <= ou
+
+    def test_oracle_memory_savings_exceed_proposed(self, study):
+        assert (
+            study[OracleKind.ORACLE_LOOKUP].memory_savings
+            >= study[OracleKind.PROPOSED].memory_savings
+        )
+
+    def test_oracle_savings_positive(self, study):
+        assert study[OracleKind.ORACLE_UPDATES].memory_savings > 0.0
+
+    def test_hit_counts_agree_across_kinds(self, study):
+        hits = {kind: r.hits for kind, r in study.items()}
+        assert len(set(hits.values())) == 1  # ground truth is shared
+
+    def test_subset_of_kinds(self, small_bvh, small_workload):
+        partial = run_limit_study(
+            small_bvh,
+            small_workload.rays,
+            CFG,
+            kinds=[OracleKind.PROPOSED, OracleKind.ORACLE_LOOKUP],
+        )
+        assert set(partial) == {OracleKind.PROPOSED, OracleKind.ORACLE_LOOKUP}

@@ -1,0 +1,105 @@
+"""Unit tests for node replacement policies (Section 6.1.3)."""
+
+import pytest
+
+from repro.core.policies import LFUPolicy, LRUKPolicy, LRUPolicy, make_node_policy
+
+
+class TestLRU:
+    def test_insert_until_capacity(self):
+        p = LRUPolicy(2)
+        assert p.insert(1) is None
+        assert p.insert(2) is None
+        assert len(p) == 2
+
+    def test_evicts_oldest(self):
+        p = LRUPolicy(2)
+        p.insert(1)
+        p.insert(2)
+        assert p.insert(3) == 1
+        assert p.nodes == [2, 3]
+
+    def test_touch_refreshes(self):
+        p = LRUPolicy(2)
+        p.insert(1)
+        p.insert(2)
+        p.touch(1)
+        assert p.insert(3) == 2
+
+    def test_reinsert_refreshes_no_eviction(self):
+        p = LRUPolicy(2)
+        p.insert(1)
+        p.insert(2)
+        assert p.insert(1) is None
+        assert p.insert(3) == 2
+
+    def test_contains(self):
+        p = LRUPolicy(2)
+        p.insert(7)
+        assert 7 in p
+        assert 8 not in p
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(0)
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        p = LFUPolicy(2)
+        p.insert(1)
+        p.insert(2)
+        p.touch(1)
+        p.touch(1)
+        assert p.insert(3) == 2
+
+    def test_tie_breaks_oldest(self):
+        p = LFUPolicy(2)
+        p.insert(1)
+        p.insert(2)
+        assert p.insert(3) == 1
+
+    def test_touch_unknown_is_noop(self):
+        p = LFUPolicy(2)
+        p.touch(42)
+        assert len(p) == 0
+
+
+class TestLRUK:
+    def test_fewer_than_k_references_evicted_first(self):
+        p = LRUKPolicy(2, k=2)
+        p.insert(1)
+        p.touch(1)  # node 1 now has 2 references
+        p.insert(2)  # node 2 has 1 reference
+        assert p.insert(3) == 2
+
+    def test_kth_recency_ordering(self):
+        p = LRUKPolicy(2, k=2)
+        p.insert(1)   # refs(1) = [t1]
+        p.touch(1)    # refs(1) = [t1, t2]
+        p.insert(2)   # refs(2) = [t3]
+        p.touch(2)    # refs(2) = [t3, t4]
+        p.touch(1)    # refs(1) = [t2, t5]
+        # 2nd-most-recent: node 1 -> t2, node 2 -> t3; t2 is older,
+        # so LRU-K evicts node 1.
+        assert p.insert(3) == 1
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            LRUKPolicy(2, k=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls", [("lru", LRUPolicy), ("lfu", LFUPolicy), ("lru-k", LRUKPolicy)]
+    )
+    def test_kinds(self, kind, cls):
+        assert isinstance(make_node_policy(kind, 2), cls)
+
+    def test_lruk_kwargs(self):
+        p = make_node_policy("lru-k", 2, k=3)
+        assert p.k == 3
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_node_policy("random", 2)

@@ -1,0 +1,58 @@
+"""The public API surface: every exported name exists and is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.geometry",
+    "repro.scenes",
+    "repro.bvh",
+    "repro.rays",
+    "repro.trace",
+    "repro.core",
+    "repro.gpu",
+    "repro.energy",
+    "repro.render",
+    "repro.analysis",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_module_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__) > 40
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_api_one_liner(self):
+        """The README's import line must keep working."""
+        from repro import (  # noqa: F401
+            GPUConfig,
+            PredictorConfig,
+            build_bvh,
+            generate_ao_workload,
+            get_scene,
+            simulate_workload,
+        )
+
+    def test_no_unexpected_export_collisions(self):
+        """Top-level names must map to the same objects as the submodules."""
+        import repro
+        from repro.core.predictor import PredictorConfig
+        from repro.gpu.config import GPUConfig
+
+        assert repro.PredictorConfig is PredictorConfig
+        assert repro.GPUConfig is GPUConfig

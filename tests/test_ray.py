@@ -1,0 +1,90 @@
+"""Unit tests for repro.geometry.ray."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.ray import Ray, RayBatch
+
+
+class TestRay:
+    def test_at(self):
+        ray = Ray((1, 2, 3), (1, 0, 0))
+        assert ray.at(2.0) == (3, 2, 3)
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            Ray((0, 0, 0), (1, 0, 0), t_min=2.0, t_max=1.0)
+
+    def test_zero_direction_raises(self):
+        with pytest.raises(ValueError):
+            Ray((0, 0, 0), (0, 0, 0))
+
+    def test_normalized(self):
+        ray = Ray((0, 0, 0), (3, 0, 4), t_max=5.0)
+        unit = ray.normalized()
+        assert math.isclose(
+            math.sqrt(sum(d * d for d in unit.direction)), 1.0, rel_tol=1e-12
+        )
+        assert unit.t_max == 5.0
+
+    def test_inv_direction(self):
+        ray = Ray((0, 0, 0), (2, -4, 0.5))
+        inv = ray.inv_direction()
+        assert inv == (0.5, -0.25, 2.0)
+
+    def test_inv_direction_zero_component(self):
+        ray = Ray((0, 0, 0), (1, 0, 0))
+        inv = ray.inv_direction()
+        assert inv[1] == math.inf
+        assert inv[2] == math.inf
+
+
+class TestRayBatch:
+    def make(self, n=4):
+        origins = np.zeros((n, 3))
+        directions = np.tile([1.0, 0.0, 0.0], (n, 1))
+        return RayBatch(origins, directions, t_min=0.0, t_max=np.arange(1, n + 1, dtype=float))
+
+    def test_len(self):
+        assert len(self.make(5)) == 5
+
+    def test_getitem(self):
+        batch = self.make()
+        ray = batch[2]
+        assert isinstance(ray, Ray)
+        assert ray.t_max == 3.0
+
+    def test_iteration_order(self):
+        batch = self.make(3)
+        t_maxes = [r.t_max for r in batch]
+        assert t_maxes == [1.0, 2.0, 3.0]
+
+    def test_scalar_t_broadcast(self):
+        batch = RayBatch(np.zeros((3, 3)), np.tile([0, 1, 0.0], (3, 1)), t_max=7.0)
+        assert batch.t_max.tolist() == [7.0, 7.0, 7.0]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            RayBatch(np.zeros((3, 3)), np.zeros((4, 3)))
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            RayBatch(np.zeros((2, 3)), np.ones((2, 3)), t_min=5.0, t_max=1.0)
+
+    def test_subset_preserves_order(self):
+        batch = self.make(5)
+        sub = batch.subset([3, 1])
+        assert [r.t_max for r in sub] == [4.0, 2.0]
+
+    def test_concatenate(self):
+        a = self.make(2)
+        b = self.make(3)
+        c = RayBatch.concatenate([a, b])
+        assert len(c) == 5
+        assert c.t_max.tolist() == [1.0, 2.0, 1.0, 2.0, 3.0]
+
+    def test_concatenate_empty_list(self):
+        c = RayBatch.concatenate([])
+        assert len(c) == 0

@@ -1,0 +1,166 @@
+"""Unit tests for cameras, sampling, AO workload generation and sorting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import vec_dot, vec_length
+from repro.rays import (
+    PinholeCamera,
+    cosine_hemisphere_batch,
+    cosine_sample_hemisphere,
+    generate_ao_workload,
+    morton_sort_rays,
+    orthonormal_basis,
+)
+from repro.rays.aogen import AO_LENGTH_MAX_FRACTION, AO_LENGTH_MIN_FRACTION
+from repro.rays.reflection import generate_reflection_rays
+from repro.scenes.scene import CameraSpec
+
+
+class TestCamera:
+    def make(self, width=8, height=6):
+        spec = CameraSpec(eye=(0, 0, 0), look_at=(0, 0, -1), fov_degrees=90.0)
+        return PinholeCamera(spec, width, height)
+
+    def test_one_ray_per_pixel(self):
+        camera = self.make()
+        assert len(camera.primary_rays()) == 48
+
+    def test_directions_normalized(self):
+        rays = self.make().primary_rays()
+        norms = np.linalg.norm(rays.directions, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_central_ray_points_forward(self):
+        camera = self.make(3, 3)
+        rays = camera.primary_rays()
+        center = rays[4]  # middle pixel of a 3x3 grid
+        assert center.direction[2] < -0.99
+
+    def test_pixel_of_ray(self):
+        camera = self.make(8, 6)
+        assert camera.pixel_of_ray(0) == (0, 0)
+        assert camera.pixel_of_ray(9) == (1, 1)
+        with pytest.raises(IndexError):
+            camera.pixel_of_ray(48)
+
+    def test_degenerate_eye_raises(self):
+        with pytest.raises(ValueError):
+            PinholeCamera(CameraSpec((0, 0, 0), (0, 0, 0)), 4, 4)
+
+    def test_up_parallel_to_view_raises(self):
+        with pytest.raises(ValueError):
+            PinholeCamera(CameraSpec((0, 0, 0), (0, 1, 0), up=(0, 1, 0)), 4, 4)
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            PinholeCamera(CameraSpec((0, 0, 0), (0, 0, -1)), 0, 4)
+
+
+class TestSampling:
+    def test_orthonormal_basis(self):
+        for normal in [(0, 0, 1), (0, 0, -1), (1, 0, 0), (0.3, -0.5, 0.8)]:
+            t, b = orthonormal_basis(normal)
+            assert abs(vec_dot(t, b)) < 1e-9
+            assert abs(vec_length(t) - 1.0) < 1e-9
+            assert abs(vec_length(b) - 1.0) < 1e-9
+            n = np.asarray(normal) / np.linalg.norm(normal)
+            assert abs(vec_dot(t, n)) < 1e-9
+
+    def test_cosine_sample_in_hemisphere(self):
+        rng = np.random.default_rng(0)
+        normal = (0.0, 1.0, 0.0)
+        for _ in range(100):
+            d = cosine_sample_hemisphere(normal, rng.random(), rng.random())
+            assert vec_dot(d, normal) >= -1e-9
+            assert abs(vec_length(d) - 1.0) < 1e-9
+
+    def test_cosine_batch_in_hemisphere(self):
+        rng = np.random.default_rng(1)
+        normals = rng.normal(size=(500, 3))
+        normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+        dirs = cosine_hemisphere_batch(normals, rng)
+        dots = np.einsum("ij,ij->i", dirs, normals)
+        assert (dots >= -1e-9).all()
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+    def test_cosine_distribution_mean(self):
+        # For cosine-weighted sampling, E[cos(theta)] = 2/3.
+        rng = np.random.default_rng(2)
+        normals = np.tile([0.0, 0.0, 1.0], (20000, 1))
+        dirs = cosine_hemisphere_batch(normals, rng)
+        assert abs(dirs[:, 2].mean() - 2 / 3) < 0.01
+
+
+class TestAOWorkload:
+    def test_counts(self, small_workload):
+        wl = small_workload
+        assert wl.num_primary == 16 * 16
+        assert 0 < wl.num_primary_hits <= wl.num_primary
+        assert len(wl) == wl.num_primary_hits * wl.spp
+
+    def test_ray_lengths_follow_paper_fractions(self, small_scene, small_workload):
+        diag = small_scene.aabb().diagonal_length()
+        lengths = small_workload.rays.t_max
+        assert (lengths >= AO_LENGTH_MIN_FRACTION * diag - 1e-9).all()
+        assert (lengths <= AO_LENGTH_MAX_FRACTION * diag + 1e-9).all()
+
+    def test_directions_unit(self, small_workload):
+        norms = np.linalg.norm(small_workload.rays.directions, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_pixel_index_shape(self, small_workload):
+        assert small_workload.pixel_index.shape == (len(small_workload),)
+        assert (small_workload.pixel_index < 16 * 16).all()
+
+    def test_deterministic(self, small_scene, small_bvh):
+        a = generate_ao_workload(small_scene, small_bvh, 8, 8, 2, seed=5)
+        b = generate_ao_workload(small_scene, small_bvh, 8, 8, 2, seed=5)
+        assert np.allclose(a.rays.origins, b.rays.origins)
+        assert np.allclose(a.rays.directions, b.rays.directions)
+
+    def test_seed_changes_rays(self, small_scene, small_bvh):
+        a = generate_ao_workload(small_scene, small_bvh, 8, 8, 2, seed=5)
+        b = generate_ao_workload(small_scene, small_bvh, 8, 8, 2, seed=6)
+        assert not np.allclose(a.rays.directions, b.rays.directions)
+
+    def test_invalid_spp_raises(self, small_scene, small_bvh):
+        with pytest.raises(ValueError):
+            generate_ao_workload(small_scene, small_bvh, 8, 8, 0)
+
+
+class TestMortonSort:
+    def test_is_permutation(self, small_workload):
+        perm = morton_sort_rays(small_workload.rays)
+        assert sorted(perm.tolist()) == list(range(len(small_workload)))
+
+    def test_sorted_origins_more_local(self, small_workload):
+        rays = small_workload.rays
+        perm = morton_sort_rays(rays)
+        sorted_rays = rays.subset(perm)
+
+        def adjacency_distance(batch):
+            deltas = np.diff(batch.origins, axis=0)
+            return np.linalg.norm(deltas, axis=1).mean()
+
+        assert adjacency_distance(sorted_rays) <= adjacency_distance(rays)
+
+    def test_deterministic(self, small_workload):
+        a = morton_sort_rays(small_workload.rays)
+        b = morton_sort_rays(small_workload.rays)
+        assert np.array_equal(a, b)
+
+
+class TestReflectionRays:
+    def test_generation(self, small_scene, small_bvh):
+        rays = generate_reflection_rays(small_scene, small_bvh, 8, 8)
+        assert len(rays) > 0
+        assert np.allclose(np.linalg.norm(rays.directions, axis=1), 1.0)
+
+    def test_reflections_leave_surface(self, small_scene, small_bvh):
+        # Reflected rays must point away from the surface they left:
+        # tracing a tiny step along them should not re-hit immediately.
+        rays = generate_reflection_rays(small_scene, small_bvh, 8, 8)
+        assert np.isfinite(rays.origins).all()

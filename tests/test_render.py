@@ -1,0 +1,129 @@
+"""Unit tests for the AO and GI renderers and image output."""
+
+import numpy as np
+import pytest
+
+from repro.core import PredictorConfig
+from repro.render import (
+    PredictedClosestHitTracer,
+    render_ao,
+    render_gi,
+    tonemap,
+    write_ppm,
+)
+from repro.trace import TraversalStats, closest_hit
+from repro.geometry.ray import Ray
+
+PC = PredictorConfig(origin_bits=3, direction_bits=2, go_up_level=2)
+
+
+class TestImage:
+    def test_tonemap_range(self):
+        img = np.array([[-1.0, 0.0], [0.5, 2.0]])
+        out = tonemap(img)
+        assert out.dtype == np.uint8
+        assert out[0, 0] == 0
+        assert out[1, 1] == 255
+
+    def test_tonemap_handles_nan(self):
+        out = tonemap(np.array([[np.nan]]))
+        assert out[0, 0] == 0
+
+    def test_write_ppm_grayscale(self, tmp_path):
+        path = tmp_path / "g.ppm"
+        write_ppm(path, np.ones((4, 6)))
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n6 4\n255\n")
+        assert len(data) == len(b"P6\n6 4\n255\n") + 4 * 6 * 3
+
+    def test_write_ppm_rgb(self, tmp_path):
+        path = tmp_path / "c.ppm"
+        write_ppm(path, np.zeros((2, 2, 3)))
+        assert path.exists()
+
+    def test_write_ppm_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "bad.ppm", np.zeros((2, 2, 4)))
+
+
+class TestRenderAO:
+    @pytest.fixture(scope="class")
+    def render(self, small_scene, small_bvh):
+        return render_ao(small_scene, small_bvh, width=16, height=16, spp=2, seed=3)
+
+    def test_image_shape_and_range(self, render):
+        assert render.image.shape == (16, 16)
+        assert (render.image >= 0.0).all()
+        assert (render.image <= 1.0).all()
+
+    def test_occlusion_varies(self, render):
+        # A cluttered room must produce spatial AO variation.
+        assert render.image.std() > 0.01
+
+    def test_visibility_matches_hits(self, render):
+        wl = render.workload
+        pixel = int(wl.pixel_index[0])
+        mask = wl.pixel_index == pixel
+        expected = 1.0 - render.hits[mask].mean()
+        y, x = divmod(pixel, 16)
+        assert render.image[y, x] == pytest.approx(expected)
+
+    def test_stats_populated(self, render):
+        assert render.stats.rays == len(render.workload)
+        assert render.stats.node_fetches > 0
+
+    def test_deterministic(self, small_scene, small_bvh):
+        a = render_ao(small_scene, small_bvh, width=8, height=8, spp=2, seed=1)
+        b = render_ao(small_scene, small_bvh, width=8, height=8, spp=2, seed=1)
+        assert np.array_equal(a.image, b.image)
+
+
+class TestPredictedClosestHit:
+    def test_matches_plain_closest_hit(self, small_bvh, small_workload):
+        """t-max trimming must never change the answer (Section 6.4)."""
+        tracer = PredictedClosestHitTracer(small_bvh, PC)
+        for i in range(0, len(small_workload), 5):
+            ray = small_workload.rays[i]
+            unbounded = Ray(ray.origin, ray.direction, 0.0, float("inf"))
+            t_ref, tri_ref = closest_hit(small_bvh, unbounded)
+            t, tri = tracer.trace(unbounded)
+            assert (tri >= 0) == (tri_ref >= 0)
+            if tri_ref >= 0:
+                assert t == pytest.approx(t_ref, rel=1e-9)
+
+    def test_trimming_engages_after_training(self, small_bvh, small_workload):
+        tracer = PredictedClosestHitTracer(small_bvh, PC)
+        for i in range(min(400, len(small_workload))):
+            ray = small_workload.rays[i]
+            tracer.trace(Ray(ray.origin, ray.direction, 0.0, float("inf")))
+        assert tracer.predicted > 0
+        assert tracer.trimmed > 0
+
+
+class TestRenderGI:
+    def test_shapes_and_determinism(self, small_scene, small_bvh):
+        a = render_gi(small_scene, small_bvh, width=8, height=8, bounces=2, seed=2,
+                      predictor_config=PC)
+        b = render_gi(small_scene, small_bvh, width=8, height=8, bounces=2, seed=2,
+                      predictor_config=PC)
+        assert a.image.shape == (8, 8)
+        assert np.array_equal(a.image, b.image)
+        assert a.rays_traced == b.rays_traced
+
+    def test_identical_image_with_and_without_predictor(self, small_scene, small_bvh):
+        """Prediction trims work, not radiance."""
+        with_pred = render_gi(small_scene, small_bvh, 8, 8, bounces=2, seed=4,
+                              predictor_config=PC, use_predictor=True)
+        without = render_gi(small_scene, small_bvh, 8, 8, bounces=2, seed=4,
+                            use_predictor=False)
+        assert np.allclose(with_pred.image, without.image)
+
+    def test_radiance_nonnegative_and_bounded(self, small_scene, small_bvh):
+        result = render_gi(small_scene, small_bvh, 8, 8, bounces=2, seed=5,
+                           use_predictor=False)
+        assert (result.image >= 0.0).all()
+        assert (result.image <= 1.0 + 1e-9).all()  # sky == 1, albedo < 1
+
+    def test_invalid_bounces(self, small_scene, small_bvh):
+        with pytest.raises(ValueError):
+            render_gi(small_scene, small_bvh, 4, 4, bounces=0)

@@ -1,0 +1,98 @@
+"""Unit tests for the partial warp collector and repacking (Section 4.4)."""
+
+import pytest
+
+from repro.core.repacking import PartialWarpCollector, repack_rays
+
+
+class TestCollector:
+    def test_fills_and_emits_full_warp(self):
+        c = PartialWarpCollector(warp_size=4, capacity=8, timeout_cycles=5)
+        assert c.push([1, 2]) == []
+        assert len(c) == 2
+        emitted = c.push([3, 4, 5])
+        assert emitted == [[1, 2, 3, 4]]
+        assert len(c) == 1
+
+    def test_overflow_emits_multiple_warps(self):
+        c = PartialWarpCollector(warp_size=4, capacity=8, timeout_cycles=5)
+        emitted = c.push(list(range(9)))
+        assert emitted == [[0, 1, 2, 3], [4, 5, 6, 7]]
+        assert len(c) == 1
+
+    def test_timeout_flush(self):
+        c = PartialWarpCollector(warp_size=4, capacity=8, timeout_cycles=3)
+        c.push([1, 2])
+        assert c.tick(2) is None
+        assert c.tick(1) == [1, 2]
+        assert len(c) == 0
+        assert c.stats.timeout_flushes == 1
+
+    def test_push_resets_timeout(self):
+        c = PartialWarpCollector(warp_size=4, capacity=8, timeout_cycles=3)
+        c.push([1])
+        c.tick(2)
+        c.push([2])  # resets idle counter
+        assert c.tick(2) is None
+
+    def test_tick_empty_is_noop(self):
+        c = PartialWarpCollector(warp_size=4, capacity=8, timeout_cycles=3)
+        assert c.tick(100) is None
+
+    def test_final_flush(self):
+        c = PartialWarpCollector(warp_size=4, capacity=8, timeout_cycles=3)
+        c.push([7, 8, 9])
+        assert c.flush() == [7, 8, 9]
+        assert c.flush() is None
+        assert c.stats.final_flushes == 1
+
+    def test_stats_counts(self):
+        c = PartialWarpCollector(warp_size=2, capacity=4, timeout_cycles=3)
+        c.push([1, 2, 3])
+        assert c.stats.rays_collected == 3
+        assert c.stats.warps_emitted == 1
+        assert c.stats.full_flushes == 1
+
+    def test_timeout_must_fit_5_bits(self):
+        with pytest.raises(ValueError):
+            PartialWarpCollector(timeout_cycles=32)
+        with pytest.raises(ValueError):
+            PartialWarpCollector(timeout_cycles=0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PartialWarpCollector(warp_size=32, capacity=16)
+
+    def test_paper_overflow_scenario(self):
+        """30 rays buffered + 15 pushed -> 45 for one cycle, 32 move out."""
+        c = PartialWarpCollector(warp_size=32, capacity=64, timeout_cycles=16)
+        c.push(list(range(30)))
+        emitted = c.push(list(range(100, 115)))
+        assert len(emitted) == 1
+        assert len(emitted[0]) == 32
+        assert len(c) == 13
+
+
+class TestRepackRays:
+    def test_separates_classes(self):
+        predicted, unpredicted = repack_rays([1, 2, 3], [4, 5], warp_size=2)
+        assert predicted == [[1, 2], [3]]
+        assert unpredicted == [[4, 5]]
+
+    def test_empty_inputs(self):
+        predicted, unpredicted = repack_rays([], [], warp_size=4)
+        assert predicted == []
+        assert unpredicted == []
+
+    def test_no_warp_exceeds_size(self):
+        predicted, unpredicted = repack_rays(list(range(100)), list(range(7)), 32)
+        assert all(len(w) <= 32 for w in predicted + unpredicted)
+
+    def test_order_preserved(self):
+        predicted, _ = repack_rays([5, 3, 9, 1], [], warp_size=3)
+        assert predicted == [[5, 3, 9], [1]]
+
+    def test_all_rays_present_once(self):
+        predicted, unpredicted = repack_rays(list(range(50)), list(range(50, 80)), 32)
+        flat = [r for w in predicted + unpredicted for r in w]
+        assert sorted(flat) == list(range(80))

@@ -1,0 +1,56 @@
+"""Reproducibility guarantees: the benchmark pipeline is deterministic."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentContext, WorkloadParams
+from repro.trace import TraversalStats, occlusion_any_hit
+from repro.gpu.cache import Cache
+from repro.gpu.config import CacheConfig
+
+PARAMS = WorkloadParams(width=12, height=12, spp=1, seed=4, detail=0.3)
+
+
+class TestPipelineDeterminism:
+    def test_two_fresh_contexts_agree(self):
+        a = ExperimentContext()
+        b = ExperimentContext()
+        out_a = a.predicted("FR", params=PARAMS)
+        out_b = b.predicted("FR", params=PARAMS)
+        assert out_a.cycles == out_b.cycles
+        assert out_a.total_accesses == out_b.total_accesses
+        assert out_a.predicted_rate == out_b.predicted_rate
+
+    def test_workloads_identical_across_contexts(self):
+        a = ExperimentContext().workload("FR", PARAMS)
+        b = ExperimentContext().workload("FR", PARAMS)
+        assert np.array_equal(a.rays.origins, b.rays.origins)
+        assert np.array_equal(a.rays.t_max, b.rays.t_max)
+
+
+class TestTraceReplay:
+    def test_recorded_trace_replays_deterministic_hits(self, small_bvh, small_workload):
+        """The access trace drives the same cache behaviour every time."""
+        stats = TraversalStats()
+        for i in range(0, min(len(small_workload), 64)):
+            occlusion_any_hit(
+                small_bvh, small_workload.rays[i], stats=stats, record_trace=True
+            )
+
+        def replay():
+            cache = Cache(CacheConfig(size_bytes=2048, ways=8))
+            pattern = []
+            for kind, index in stats.trace:
+                addr = (
+                    small_bvh.node_address(index)
+                    if kind == "node"
+                    else small_bvh.triangle_address(index)
+                )
+                pattern.append(cache.access(cache.line_of(addr)))
+            return pattern
+
+        first = replay()
+        second = replay()
+        assert first == second
+        assert any(first)       # some locality exists
+        assert not all(first)   # and some misses

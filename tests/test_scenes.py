@@ -1,0 +1,140 @@
+"""Unit tests for scene generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.scenes import SCENE_CODES, available_scenes, get_scene
+from repro.scenes.procedural import (
+    box,
+    chair,
+    clutter,
+    cylinder,
+    floor_field,
+    heightfield,
+    open_room,
+    quad,
+    table,
+    uv_sphere,
+    voxel_terrain,
+)
+
+
+class TestPrimitives:
+    def test_quad_triangle_count(self):
+        assert len(quad((0, 0, 0), (1, 0, 0), (1, 1, 0), (0, 1, 0), subdiv=3)) == 18
+
+    def test_quad_subdiv_validation(self):
+        with pytest.raises(ValueError):
+            quad((0, 0, 0), (1, 0, 0), (1, 1, 0), (0, 1, 0), subdiv=0)
+
+    def test_box_triangle_count(self):
+        assert len(box((0, 0, 0), (1, 1, 1), subdiv=2)) == 6 * 2 * 4
+
+    def test_box_bounds(self):
+        mesh = box((1, 2, 3), (4, 5, 6))
+        aabb = mesh.scene_aabb()
+        assert aabb.lo == (1, 2, 3)
+        assert aabb.hi == (4, 5, 6)
+
+    def test_open_room_same_as_box(self):
+        assert len(open_room((0, 0, 0), (1, 1, 1), subdiv=2)) == len(
+            box((0, 0, 0), (1, 1, 1), subdiv=2)
+        )
+
+    def test_sphere_bounds(self):
+        mesh = uv_sphere((0, 0, 0), 1.0, lat=6, lon=8)
+        aabb = mesh.scene_aabb()
+        assert np.allclose(aabb.lo, (-1, -1, -1), atol=1e-6)
+        assert np.allclose(aabb.hi, (1, 1, 1), atol=1e-6)
+
+    def test_sphere_validation(self):
+        with pytest.raises(ValueError):
+            uv_sphere((0, 0, 0), 1.0, lat=1)
+
+    def test_cylinder_height(self):
+        mesh = cylinder((0, 0, 0), 0.5, 2.0, segments=8)
+        aabb = mesh.scene_aabb()
+        assert np.isclose(aabb.hi[1] - aabb.lo[1], 2.0)
+
+    def test_cylinder_uncapped_fewer_triangles(self):
+        capped = cylinder((0, 0, 0), 0.5, 1.0, segments=8, capped=True)
+        open_ = cylinder((0, 0, 0), 0.5, 1.0, segments=8, capped=False)
+        assert len(open_) < len(capped)
+
+    def test_cylinder_validation(self):
+        with pytest.raises(ValueError):
+            cylinder((0, 0, 0), 0.5, 1.0, segments=2)
+
+    def test_heightfield_counts(self):
+        mesh = heightfield(0, 0, 1, 1, 4, 5, lambda x, z: 0.5)
+        assert len(mesh) == 4 * 5 * 2
+
+    def test_voxel_terrain_quantizes(self):
+        mesh = voxel_terrain(0, 0, 2, 2, 2, 2, lambda x, z: 0.74, block_height=0.5)
+        aabb = mesh.scene_aabb()
+        assert np.isclose(aabb.hi[1], 0.5)  # 0.74 rounds to 0.5
+
+    def test_table_and_chair_nonempty(self):
+        assert len(table((0, 0, 0), 1, 1, 0.7)) > 0
+        assert len(chair((0, 0, 0), 0.5, 1.0)) > 0
+
+    def test_floor_field_objects_stand_on_floor(self):
+        rng = np.random.default_rng(1)
+        mesh = floor_field(rng, (0, 0.5, 0), (4, 0.5, 4), nx=3, nz=3, fill=1.0)
+        aabb = mesh.scene_aabb()
+        assert aabb.lo[1] >= 0.5 - 1e-9
+
+    def test_floor_field_deterministic(self):
+        a = floor_field(np.random.default_rng(9), (0, 0, 0), (4, 0, 4), 3, 3)
+        b = floor_field(np.random.default_rng(9), (0, 0, 0), (4, 0, 4), 3, 3)
+        assert len(a) == len(b)
+        assert np.allclose(a.v0, b.v0)
+
+    def test_clutter_zero_count(self):
+        mesh = clutter(np.random.default_rng(0), 0, (0, 0, 0), (1, 1, 1))
+        assert len(mesh) == 0
+
+
+class TestRegistry:
+    def test_available_scenes_paper_order(self):
+        assert available_scenes() == ["SB", "SP", "LE", "LR", "FR", "BI", "CK"]
+
+    @pytest.mark.parametrize("code", SCENE_CODES)
+    def test_all_scenes_build(self, code):
+        scene = get_scene(code, detail=0.4)
+        assert scene.num_triangles > 100
+        assert scene.code == code
+        assert not scene.aabb().is_empty()
+
+    def test_alias_lookup(self):
+        assert get_scene("sponza", detail=0.4).code == "SP"
+        assert get_scene("kitchen", detail=0.4).code == "CK"
+
+    def test_case_insensitive(self):
+        assert get_scene("sp", detail=0.4).code == "SP"
+
+    def test_unknown_scene_raises(self):
+        with pytest.raises(KeyError):
+            get_scene("nonexistent")
+
+    def test_invalid_detail_raises(self):
+        with pytest.raises(ValueError):
+            get_scene("SP", detail=0.0)
+
+    def test_detail_scales_triangles(self):
+        small = get_scene("SP", detail=0.5)
+        large = get_scene("SP", detail=2.0)
+        assert large.num_triangles > small.num_triangles
+
+    def test_deterministic(self):
+        a = get_scene("LR", detail=0.5)
+        b = get_scene("LR", detail=0.5)
+        assert a.num_triangles == b.num_triangles
+        assert np.allclose(a.mesh.v0, b.mesh.v0)
+
+    def test_camera_inside_scene_bbox(self):
+        # Interior scenes: camera should sit within the scene bounds so
+        # primary rays see geometry.
+        for code in SCENE_CODES:
+            scene = get_scene(code, detail=0.4)
+            assert scene.aabb().contains_point(scene.camera.eye, eps=1.0), code

@@ -1,0 +1,51 @@
+"""Unit tests for the shadow-ray workload."""
+
+import numpy as np
+import pytest
+
+from repro.rays.shadows import (
+    default_light_position,
+    generate_shadow_workload,
+)
+from repro.trace import trace_occlusion_batch
+
+
+class TestShadowWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self, small_scene, small_bvh):
+        return generate_shadow_workload(small_scene, small_bvh, width=16, height=16)
+
+    def test_one_ray_per_hit_pixel(self, workload):
+        assert len(workload) == len(workload.pixel_index)
+        assert len(np.unique(workload.pixel_index)) == len(workload)
+
+    def test_directions_point_at_light(self, workload):
+        light = np.asarray(workload.light)
+        targets = workload.rays.origins + (
+            workload.rays.directions * (workload.rays.t_max[:, None])
+        )
+        # Rays stop just short of the light.
+        dist = np.linalg.norm(targets - light, axis=1)
+        assert (dist < 0.01).all()
+
+    def test_directions_normalized(self, workload):
+        norms = np.linalg.norm(workload.rays.directions, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_t_max_positive(self, workload):
+        assert (workload.rays.t_max >= 0.0).all()
+
+    def test_some_pixels_shadowed_some_lit(self, small_bvh, workload):
+        shadowed = trace_occlusion_batch(small_bvh, workload.rays)
+        # A cluttered room with a ceiling light: both classes exist.
+        assert 0.0 < shadowed.mean() < 1.0
+
+    def test_default_light_inside_scene(self, small_scene):
+        light = default_light_position(small_scene)
+        assert small_scene.aabb().contains_point(light)
+
+    def test_custom_light(self, small_scene, small_bvh):
+        wl = generate_shadow_workload(
+            small_scene, small_bvh, width=8, height=8, light=(4.0, 3.5, 3.0)
+        )
+        assert wl.light == (4.0, 3.5, 3.0)

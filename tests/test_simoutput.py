@@ -1,0 +1,112 @@
+"""Unit tests for SimOutput aggregation over synthetic per-SM results."""
+
+import pytest
+
+from repro.gpu.rt_unit import RTUnitResult
+from repro.gpu.simulator import SimOutput
+
+
+def make_result(**overrides) -> RTUnitResult:
+    base = dict(
+        cycles=1000,
+        rays=64,
+        hits=40,
+        predicted=30,
+        verified=10,
+        node_fetches=500,
+        tri_fetches=100,
+        misprediction_node_fetches=20,
+        misprediction_tri_fetches=5,
+        box_tests=1000,
+        tri_tests=120,
+        warps_executed=2,
+        warp_steps=50,
+        active_thread_steps=800,
+        stack_spills=3,
+        l1_accesses=400,
+        l1_hits=200,
+        l2_accesses=200,
+        l2_hits=150,
+        dram_accesses=50,
+        dram_bank_parallelism=2.0,
+        predictor_lookups=64,
+        predictor_updates=40,
+        collector_warps=1,
+        collector_timeout_flushes=0,
+    )
+    base.update(overrides)
+    return RTUnitResult(**base)
+
+
+@pytest.fixture()
+def output():
+    return SimOutput(
+        cycles=1200,
+        per_sm=[make_result(), make_result(cycles=1200, rays=32, hits=16)],
+    )
+
+
+class TestAggregation:
+    def test_rays_sum(self, output):
+        assert output.rays == 96
+
+    def test_cycles_is_max(self, output):
+        assert output.cycles == 1200
+
+    def test_access_sums(self, output):
+        assert output.node_fetches == 1000
+        assert output.tri_fetches == 200
+        assert output.total_accesses == 1200
+
+    def test_misprediction_accesses(self, output):
+        assert output.misprediction_accesses == 2 * (20 + 5)
+
+    def test_rates(self, output):
+        assert output.predicted_rate == pytest.approx(60 / 96)
+        assert output.verified_rate == pytest.approx(20 / 96)
+        assert output.hit_rate == pytest.approx(56 / 96)
+
+    def test_cache_rates(self, output):
+        assert output.l1_hit_rate == pytest.approx(400 / 800)
+        assert output.l2_hit_rate == pytest.approx(300 / 400)
+
+    def test_dram(self, output):
+        assert output.dram_accesses == 100
+        assert output.dram_bank_parallelism == pytest.approx(2.0)
+
+    def test_predictor_traffic(self, output):
+        assert output.predictor_lookups == 128
+        assert output.predictor_updates == 80
+
+    def test_simt_efficiency(self, output):
+        assert output.simt_efficiency == pytest.approx(1600 / (100 * 32))
+
+    def test_rays_per_cycle(self, output):
+        assert output.rays_per_cycle() == pytest.approx(96 / 1200)
+
+
+class TestEmpty:
+    def test_zero_sms(self):
+        out = SimOutput(cycles=0, per_sm=[])
+        assert out.rays == 0
+        assert out.predicted_rate == 0.0
+        assert out.l1_hit_rate == 0.0
+        assert out.dram_bank_parallelism == 0.0
+        assert out.simt_efficiency == 0.0
+        assert out.rays_per_cycle() == 0.0
+
+
+class TestRTUnitResultProperties:
+    def test_rate_properties(self):
+        r = make_result()
+        assert r.predicted_rate == pytest.approx(30 / 64)
+        assert r.verified_rate == pytest.approx(10 / 64)
+        assert r.hit_rate == pytest.approx(40 / 64)
+        assert r.total_accesses == 600
+
+    def test_zero_ray_result(self):
+        r = make_result(rays=0, l1_accesses=0, l2_accesses=0, warp_steps=0)
+        assert r.predicted_rate == 0.0
+        assert r.l1_hit_rate == 0.0
+        assert r.simt_efficiency == 0.0
+        assert r.rays_per_cycle() == 0.0

@@ -1,0 +1,87 @@
+"""Unit tests for repro.geometry.triangle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.triangle import Triangle, TriangleMesh
+
+
+class TestTriangle:
+    UNIT = Triangle((0, 0, 0), (1, 0, 0), (0, 1, 0))
+
+    def test_aabb(self):
+        box = self.UNIT.aabb()
+        assert box.lo == (0, 0, 0)
+        assert box.hi == (1, 1, 0)
+
+    def test_centroid(self):
+        c = self.UNIT.centroid()
+        assert math.isclose(c[0], 1 / 3)
+        assert math.isclose(c[1], 1 / 3)
+        assert c[2] == 0.0
+
+    def test_normal_direction(self):
+        n = self.UNIT.normal()
+        assert n == (0, 0, 1)
+
+    def test_area(self):
+        assert math.isclose(self.UNIT.area(), 0.5)
+
+    def test_degenerate_area_zero(self):
+        line = Triangle((0, 0, 0), (1, 0, 0), (2, 0, 0))
+        assert line.area() == 0.0
+
+
+class TestTriangleMesh:
+    def test_len_and_getitem(self, tiny_mesh):
+        assert len(tiny_mesh) == 2
+        tri = tiny_mesh[1]
+        assert isinstance(tri, Triangle)
+        assert tri.v2 == (0, 1, 0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((2, 3)), np.zeros((3, 3)), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            TriangleMesh(np.zeros((2, 2)), np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_from_vertices_faces(self):
+        vertices = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]], dtype=float)
+        faces = np.array([[0, 1, 2], [1, 3, 2]])
+        mesh = TriangleMesh.from_vertices_faces(vertices, faces)
+        assert len(mesh) == 2
+        assert mesh.v1[1].tolist() == [1, 1, 0]
+
+    def test_concatenate(self, tiny_mesh):
+        both = TriangleMesh.concatenate([tiny_mesh, tiny_mesh])
+        assert len(both) == 4
+
+    def test_concatenate_empty(self):
+        assert len(TriangleMesh.concatenate([])) == 0
+
+    def test_centroids(self, tiny_mesh):
+        cents = tiny_mesh.centroids()
+        assert cents.shape == (2, 3)
+        assert np.allclose(cents[0], [2 / 3, 1 / 3, 0])
+
+    def test_bounds(self, tiny_mesh):
+        lo, hi = tiny_mesh.bounds()
+        assert np.allclose(lo[0], [0, 0, 0])
+        assert np.allclose(hi[0], [1, 1, 0])
+
+    def test_scene_aabb(self, tiny_mesh):
+        box = tiny_mesh.scene_aabb()
+        assert box.lo == (0, 0, 0)
+        assert box.hi == (1, 1, 0)
+
+    def test_scene_aabb_empty(self):
+        mesh = TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3)), np.zeros((0, 3)))
+        assert mesh.scene_aabb().is_empty()
+
+    def test_transformed(self, tiny_mesh):
+        moved = tiny_mesh.transformed(scale=2.0, translate=(1, 0, 0))
+        assert np.allclose(moved.v1[0], [3, 0, 0])
+        # Original untouched.
+        assert np.allclose(tiny_mesh.v1[0], [1, 0, 0])

@@ -1,0 +1,79 @@
+"""Unit tests for repro.geometry.vec."""
+
+import math
+
+import pytest
+
+from repro.geometry.vec import (
+    vec_add,
+    vec_cross,
+    vec_dot,
+    vec_length,
+    vec_normalize,
+    vec_scale,
+    vec_sub,
+)
+
+
+class TestBasicOps:
+    def test_add(self):
+        assert vec_add((1, 2, 3), (4, 5, 6)) == (5, 7, 9)
+
+    def test_sub(self):
+        assert vec_sub((4, 5, 6), (1, 2, 3)) == (3, 3, 3)
+
+    def test_scale(self):
+        assert vec_scale((1, -2, 3), 2.0) == (2, -4, 6)
+
+    def test_scale_by_zero(self):
+        assert vec_scale((1, 2, 3), 0.0) == (0, 0, 0)
+
+    def test_dot_orthogonal(self):
+        assert vec_dot((1, 0, 0), (0, 1, 0)) == 0.0
+
+    def test_dot_parallel(self):
+        assert vec_dot((2, 0, 0), (3, 0, 0)) == 6.0
+
+    def test_accepts_lists(self):
+        assert vec_add([1, 2, 3], [1, 1, 1]) == (2, 3, 4)
+
+
+class TestCross:
+    def test_right_handed(self):
+        assert vec_cross((1, 0, 0), (0, 1, 0)) == (0, 0, 1)
+
+    def test_anticommutative(self):
+        a, b = (1.0, 2.0, 3.0), (-2.0, 0.5, 4.0)
+        ab = vec_cross(a, b)
+        ba = vec_cross(b, a)
+        assert ab == tuple(-x for x in ba)
+
+    def test_self_cross_is_zero(self):
+        assert vec_cross((3, -1, 2), (3, -1, 2)) == (0, 0, 0)
+
+    def test_orthogonal_to_inputs(self):
+        a, b = (1.0, 2.0, 3.0), (4.0, -1.0, 0.5)
+        c = vec_cross(a, b)
+        assert abs(vec_dot(a, c)) < 1e-12
+        assert abs(vec_dot(b, c)) < 1e-12
+
+
+class TestLengthAndNormalize:
+    def test_length_unit_axes(self):
+        for axis in [(1, 0, 0), (0, 1, 0), (0, 0, 1)]:
+            assert vec_length(axis) == 1.0
+
+    def test_length_pythagoras(self):
+        assert vec_length((3, 4, 0)) == 5.0
+
+    def test_normalize_produces_unit_vector(self):
+        n = vec_normalize((3, 4, 12))
+        assert math.isclose(vec_length(n), 1.0, rel_tol=1e-12)
+
+    def test_normalize_preserves_direction(self):
+        n = vec_normalize((0, 0, 5))
+        assert n == (0, 0, 1)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            vec_normalize((0, 0, 0))

@@ -12,6 +12,8 @@ substrate it depends on, in pure Python:
 * :mod:`repro.core` - the predictor: hashing, table, Go Up Level,
   repacking, oracles, the Equation 1 model;
 * :mod:`repro.gpu` - the warp-level RT-unit timing simulator;
+* :mod:`repro.faults` - fault injection + the differential oracle that
+  proves speculation never changes occlusion results;
 * :mod:`repro.energy` - the Table 4 energy model;
 * :mod:`repro.render` - AO renderer and the Section 6.4 GI extension;
 * :mod:`repro.analysis` - experiment drivers for every table and figure.
@@ -32,6 +34,7 @@ Quickstart::
 """
 
 from repro.bvh import build_bvh, compute_stats, validate_bvh
+from repro.bvh.validate import BVHValidationError
 from repro.core import (
     OracleKind,
     PredictorConfig,
@@ -40,7 +43,24 @@ from repro.core import (
     simulate_predictor,
 )
 from repro.energy import EnergyModel
+from repro.errors import (
+    InputValidationError,
+    OracleMismatchError,
+    RayValidationError,
+    ReproError,
+    SceneLoadError,
+    SimulationStallError,
+    TraversalError,
+    exit_code_for,
+)
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultyPredictor,
+    run_differential_oracle,
+)
 from repro.geometry import AABB, Ray, RayBatch, Triangle, TriangleMesh
+from repro.geometry.ray import RayBatchValidation, validate_ray_batch
 from repro.gpu import GPUConfig, simulate_workload
 from repro.rays import generate_ao_workload, morton_sort_rays
 from repro.render import render_ao, render_gi
@@ -51,6 +71,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AABB",
+    "BVHValidationError",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultyPredictor",
+    "InputValidationError",
+    "OracleMismatchError",
+    "RayBatchValidation",
+    "RayValidationError",
+    "ReproError",
+    "SceneLoadError",
+    "SimulationStallError",
+    "TraversalError",
     "EnergyModel",
     "GPUConfig",
     "OracleKind",
@@ -72,6 +104,9 @@ __all__ = [
     "run_limit_study",
     "simulate_predictor",
     "simulate_workload",
+    "exit_code_for",
+    "run_differential_oracle",
     "validate_bvh",
+    "validate_ray_batch",
     "__version__",
 ]

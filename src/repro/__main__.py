@@ -4,10 +4,16 @@ Commands:
     scenes            list the benchmark scenes with their statistics
     quick SCENE       baseline-vs-predictor headline numbers for a scene
     limit SCENE       run the Figure 2 limit study on a scene
+    faults SCENE      differential fault-injection oracle for a scene
     report            stitch results/*.txt into a single REPORT.md
 
 The CLI is a thin veneer over the library; the benchmark harness under
 ``benchmarks/`` regenerates the paper's full tables and figures.
+
+Failures map to distinct exit codes (see :mod:`repro.errors`): 3 scene
+loading, 4 invalid input, 5 traversal integrity, 6 watchdog, 7 oracle
+mismatch, 70 unexpected internal error.  Structured errors print a
+one-line actionable message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.tables import format_table
 from repro.bvh import build_bvh, compute_stats
+from repro.errors import EXIT_INTERNAL, ReproError, exit_code_for
 from repro.rays import generate_ao_workload
 from repro.scenes import SCENE_CODES, get_scene
 
@@ -83,6 +90,36 @@ def _cmd_limit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.faults import FaultConfig, run_differential_oracle
+
+    # Validate the fault settings before paying for scene + BVH setup.
+    fault_config = FaultConfig(
+        seed=args.seed, table_rate=args.rate, ray_rate=args.rate
+    )
+    scene = get_scene(args.scene, detail=args.detail)
+    bvh = build_bvh(scene.mesh, validate=True)
+    rays = generate_ao_workload(
+        scene, bvh, width=args.size, height=args.size, spp=args.spp, seed=1
+    ).rays
+    rays = rays.subset(np.arange(min(args.rays, len(rays))))
+    report = run_differential_oracle(
+        bvh,
+        rays,
+        fault_config=fault_config,
+        in_flight=args.in_flight,
+        perturb_rays=args.perturb_rays,
+        scene=scene.name,
+    )
+    print(report.summary())
+    # A mismatch is the one result this command exists to catch; raise
+    # the structured error so main() maps it to its exit code.
+    report.raise_on_mismatch()
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import write_report
 
@@ -111,6 +148,24 @@ def main(argv: list[str] | None = None) -> int:
     limit.add_argument("--spp", type=int, default=2)
     limit.add_argument("--rays", type=int, default=2000)
 
+    faults = sub.add_parser(
+        "faults",
+        help="differential fault-injection oracle for one scene",
+        description="Corrupt predictor-table entries while tracing and "
+        "assert per-ray occlusion matches the no-predictor baseline.",
+    )
+    faults.add_argument("scene", nargs="?", default="SP")
+    faults.add_argument("--size", type=int, default=24)
+    faults.add_argument("--spp", type=int, default=2)
+    faults.add_argument("--rays", type=int, default=1500)
+    faults.add_argument("--rate", type=float, default=0.1,
+                        help="per-lookup table corruption probability")
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--in-flight", type=int, default=32, dest="in_flight",
+                        help="delayed-update window (smaller = more predictions)")
+    faults.add_argument("--perturb-rays", action="store_true",
+                        help="also inject NaN/inf/zero-direction rays")
+
     report = sub.add_parser("report", help="collect results/ into REPORT.md")
     report.add_argument("--results", default="results")
     report.add_argument("--output", default="REPORT.md")
@@ -120,9 +175,23 @@ def main(argv: list[str] | None = None) -> int:
         "scenes": _cmd_scenes,
         "quick": _cmd_quick,
         "limit": _cmd_limit,
+        "faults": _cmd_faults,
         "report": _cmd_report,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
+    except (KeyError, ValueError) as exc:
+        # e.g. an unknown scene code from the registry; keep the message
+        # actionable (it lists the valid codes) and skip the traceback.
+        detail = exc.args[0] if exc.args else exc
+        print(f"error: {detail}", file=sys.stderr)
+        return exit_code_for(exc)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":

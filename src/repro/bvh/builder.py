@@ -253,7 +253,11 @@ def _prefix_areas(bin_lo: np.ndarray, bin_hi: np.ndarray) -> np.ndarray:
 
 
 def build_bvh(
-    mesh: TriangleMesh, method: str = "sah", max_leaf_size: int = 4, **kwargs
+    mesh: TriangleMesh,
+    method: str = "sah",
+    max_leaf_size: int = 4,
+    validate: bool = False,
+    **kwargs,
 ) -> FlatBVH:
     """Build a BVH over ``mesh`` using a named strategy.
 
@@ -261,14 +265,28 @@ def build_bvh(
         mesh: the triangle soup.
         method: ``"sah"``, ``"median"``, or ``"lbvh"``.
         max_leaf_size: maximum triangles per leaf.
+        validate: run the full structural invariant check
+            (:func:`repro.bvh.validate.validate_bvh`) on the result -
+            worth the O(n) pass before long experiments or when the
+            input mesh is untrusted.
         **kwargs: forwarded to the selected builder.
+
+    Raises:
+        BVHValidationError: with ``validate=True``, if the built tree
+            violates a structural invariant.
     """
     if method == "sah":
-        return BinnedSAHBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
-    if method == "median":
-        return MedianSplitBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
-    if method == "lbvh":
+        bvh = BinnedSAHBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
+    elif method == "median":
+        bvh = MedianSplitBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
+    elif method == "lbvh":
         from repro.bvh.lbvh import LBVHBuilder
 
-        return LBVHBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
-    raise ValueError(f"unknown BVH build method: {method!r}")
+        bvh = LBVHBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
+    else:
+        raise ValueError(f"unknown BVH build method: {method!r}")
+    if validate:
+        from repro.bvh.validate import validate_bvh
+
+        validate_bvh(bvh)
+    return bvh

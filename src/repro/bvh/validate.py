@@ -5,9 +5,17 @@ hard guarantee before running long experiments.  Validation checks the
 invariants traversal and the predictor rely on:
 
 * node 0 is the root and every other node has a consistent parent link;
-* interior nodes have exactly two children and bound them;
+* all node bounds are finite (no NaN/inf coordinates);
+* interior nodes have exactly two in-range children and bound them
+  (parent-AABB containment);
+* leaves use a consistent encoding (both child slots negative) and
+  reference an in-range triangle span;
 * leaves partition the triangle range exactly once;
 * every triangle's AABB is contained in its leaf's AABB.
+
+The fault-injection suite relies on this checker as its trusted
+invariant source: a tree that passes here is safe for the traversal and
+speculation guards to assume in-range child links.
 """
 
 from __future__ import annotations
@@ -15,10 +23,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bvh.nodes import FlatBVH
+from repro.errors import ReproError
 
 
-class BVHValidationError(AssertionError):
-    """Raised when a BVH violates a structural invariant."""
+class BVHValidationError(ReproError, AssertionError):
+    """Raised when a BVH violates a structural invariant.
+
+    Subclasses :class:`AssertionError` for backward compatibility and
+    :class:`~repro.errors.ReproError` so the CLI maps it to an exit
+    code.
+    """
 
 
 def validate_bvh(bvh: FlatBVH, eps: float = 1e-9) -> None:
@@ -38,9 +52,16 @@ def validate_bvh(bvh: FlatBVH, eps: float = 1e-9) -> None:
     for node in range(n):
         lo = bvh.lo[node]
         hi = bvh.hi[node]
+        if not (np.all(np.isfinite(lo)) and np.all(np.isfinite(hi))):
+            raise BVHValidationError(f"node {node} has non-finite bounds")
         if np.any(lo > hi + eps):
             raise BVHValidationError(f"node {node} has inverted bounds")
         if bvh.is_leaf(node):
+            if int(bvh.left[node]) >= 0 or int(bvh.right[node]) >= 0:
+                raise BVHValidationError(
+                    f"leaf {node} has inconsistent child encoding "
+                    f"(left={int(bvh.left[node])}, right={int(bvh.right[node])})"
+                )
             start = int(bvh.first_tri[node])
             count = int(bvh.tri_count[node])
             if count <= 0:

@@ -44,6 +44,18 @@ class NodeReplacementPolicy:
         """Record a use (successful verification) of ``node``."""
         raise NotImplementedError
 
+    def replace_node(self, slot: int, node: int) -> int:
+        """Overwrite the node in ``slot`` in place; returns the old value.
+
+        This is the fault-injection hook: it models a bit-flipped or
+        stale node field without going through the replacement rule.
+        Recency/frequency metadata intentionally keeps tracking the old
+        value - hardware corruption does not update LRU state either.
+        """
+        old = self._nodes[slot]
+        self._nodes[slot] = node
+        return old
+
 
 class LRUPolicy(NodeReplacementPolicy):
     """Evict the least recently inserted-or-used node."""

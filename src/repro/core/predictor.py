@@ -25,6 +25,31 @@ from repro.core.hashing import RayHasher, make_hasher
 from repro.core.table import PredictorTable
 
 
+@dataclass
+class GuardStats:
+    """Counters for the predictor's speculation-safety guards.
+
+    The guards enforce the paper's safety contract (Section 3): a
+    prediction - even one corrupted in the table SRAM - may only cost
+    cycles, never change traversal correctness.  Invalid predicted node
+    indices degrade to "no prediction"; invalid training requests are
+    dropped.  Counters make the degradation observable.
+    """
+
+    invalid_nodes_dropped: int = 0
+    predictions_rejected: int = 0
+    invalid_training_dropped: int = 0
+
+    @property
+    def total_guard_events(self) -> int:
+        """All guard interventions (for quick 'anything odd?' checks)."""
+        return (
+            self.invalid_nodes_dropped
+            + self.predictions_rejected
+            + self.invalid_training_dropped
+        )
+
+
 @dataclass(frozen=True)
 class PredictorConfig:
     """Predictor settings; defaults reproduce Table 3.
@@ -93,6 +118,7 @@ class RayPredictor:
         # (stored in node padding, Figure 8); fetching them is free.
         self._ancestors = bvh.ancestors(self.config.go_up_level)
         self._tri_to_leaf = bvh.leaf_of_triangle()
+        self.guards = GuardStats()
 
     # ------------------------------------------------------------------
     def hash_ray(self, origin: Sequence[float], direction: Sequence[float]) -> int:
@@ -104,8 +130,27 @@ class RayPredictor:
         return self.hasher.hash_batch(origins, directions)
 
     def predict(self, ray_hash: int) -> Optional[List[int]]:
-        """Table lookup; returns predicted node indices or ``None``."""
-        return self.table.lookup(ray_hash)
+        """Table lookup; returns predicted node indices or ``None``.
+
+        Speculation-safety guard: every returned node index is
+        range-checked against the bound BVH.  An out-of-range index
+        (stale entry after a rebuild, bit-flipped SRAM, injected fault)
+        is dropped; if nothing valid remains the lookup degrades to "no
+        prediction" so the caller falls back to a full traversal.  The
+        guard never raises - a wrong prediction must only cost cycles.
+        """
+        nodes = self.table.lookup(ray_hash)
+        if not nodes:
+            return None
+        num_nodes = self.bvh.num_nodes
+        valid = [n for n in nodes if 0 <= n < num_nodes]
+        dropped = len(nodes) - len(valid)
+        if dropped:
+            self.guards.invalid_nodes_dropped += dropped
+        if not valid:
+            self.guards.predictions_rejected += 1
+            return None
+        return valid
 
     def confirm(self, ray_hash: int, node: int) -> None:
         """Tell the table which predicted node verified (policy feedback)."""
@@ -115,15 +160,27 @@ class RayPredictor:
         """Insert the traversal result for a ray that hit triangle ``hit_tri``.
 
         Returns the node actually stored (the Go Up Level ancestor of the
-        leaf containing the triangle).
+        leaf containing the triangle), or ``-1`` if ``hit_tri`` is out of
+        range - an invalid training request is dropped (and counted)
+        rather than corrupting the table or raising from deep inside a
+        simulation loop.
         """
+        if not 0 <= hit_tri < self.bvh.num_triangles:
+            self.guards.invalid_training_dropped += 1
+            return -1
         leaf = int(self._tri_to_leaf[hit_tri])
         node = int(self._ancestors[leaf])
         self.table.update(ray_hash, node)
         return node
 
     def trained_node_for(self, hit_tri: int) -> int:
-        """The node that training on ``hit_tri`` would store (no insert)."""
+        """The node that training on ``hit_tri`` would store (no insert).
+
+        Returns ``-1`` for an out-of-range triangle index (same guard as
+        :meth:`train`).
+        """
+        if not 0 <= hit_tri < self.bvh.num_triangles:
+            return -1
         leaf = int(self._tri_to_leaf[hit_tri])
         return int(self._ancestors[leaf])
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.bvh.nodes import FlatBVH
 from repro.core.predictor import PredictorConfig, RayPredictor
+from repro.errors import TraversalError
 from repro.geometry.ray import RayBatch
 from repro.trace.counters import TraversalStats
 from repro.trace.traversal import occlusion_any_hit_tri
@@ -86,6 +87,11 @@ class SimulationResult:
     table_lookups: int
     table_updates: int
     outcomes: Optional[List[PredictionOutcome]] = None
+    #: Verifications aborted by the traversal guard (corrupted predicted
+    #: node indices that slipped past the predictor's own range check,
+    #: e.g. when a raw table is driven directly).  Each one degraded to
+    #: a full root traversal; correctness was preserved.
+    guard_fallbacks: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -169,6 +175,7 @@ def simulate_predictor(
     baseline_tris = 0
     mis_nodes = 0
     mis_tris = 0
+    guard_fallbacks = 0
 
     n = len(rays)
     for start in range(0, n, in_flight):
@@ -185,9 +192,16 @@ def simulate_predictor(
                 outcome.predicted = True
                 outcome.predicted_nodes = len(nodes)
                 verify_stats = TraversalStats()
-                hit_tri = occlusion_any_hit_tri(
-                    bvh, ray, stats=verify_stats, start_nodes=nodes
-                )
+                try:
+                    hit_tri = occlusion_any_hit_tri(
+                        bvh, ray, stats=verify_stats, start_nodes=nodes
+                    )
+                except TraversalError:
+                    # Corrupted entry point (possible when driving a raw
+                    # table without the predictor's range guard): treat
+                    # as a misprediction and restart from the root.
+                    guard_fallbacks += 1
+                    hit_tri = -1
                 outcome.verify_node_fetches = verify_stats.node_fetches
                 outcome.verify_tri_fetches = verify_stats.tri_fetches
                 if hit_tri >= 0:
@@ -244,4 +258,5 @@ def simulate_predictor(
         table_lookups=n,
         table_updates=hits,
         outcomes=outcomes if keep_outcomes else None,
+        guard_fallbacks=guard_fallbacks,
     )

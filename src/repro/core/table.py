@@ -156,6 +156,45 @@ class PredictorTable:
             self.stats.node_evictions += 1
 
     # ------------------------------------------------------------------
+    # Fault-injection surface (used by :mod:`repro.faults.injector`).
+    #
+    # These methods model physical corruption of the table SRAM - a
+    # node field, a tag, or a whole entry changing underneath the
+    # predictor - without reaching into the private set structure.
+    # ------------------------------------------------------------------
+    def occupied_slots(self) -> List[tuple[int, int]]:
+        """All ``(set_index, way)`` pairs currently holding an entry."""
+        return [
+            (set_index, way)
+            for set_index, bucket in enumerate(self._sets)
+            for way in range(len(bucket))
+        ]
+
+    def entry_nodes(self, set_index: int, way: int) -> List[int]:
+        """The node slots of one entry (copy)."""
+        return self._sets[set_index][way].policy.nodes
+
+    def entry_tag(self, set_index: int, way: int) -> int:
+        """The tag of one entry."""
+        return self._sets[set_index][way].tag
+
+    def corrupt_node(self, set_index: int, way: int, slot: int, value: int) -> int:
+        """Overwrite one node slot with ``value``; returns the old node."""
+        return self._sets[set_index][way].policy.replace_node(slot, value)
+
+    def corrupt_tag(self, set_index: int, way: int, value: int) -> int:
+        """Overwrite one entry's tag (hash aliasing); returns the old tag.
+
+        The entry now answers lookups for a *different* ray hash - the
+        aliased-set fault mode: rays that never trained this entry will
+        receive its (now unrelated) prediction.
+        """
+        entry = self._sets[set_index][way]
+        old = entry.tag
+        entry.tag = value & ((1 << self.hash_bits) - 1)
+        return old
+
+    # ------------------------------------------------------------------
     def occupancy(self) -> float:
         """Fraction of entries currently valid."""
         used = sum(len(bucket) for bucket in self._sets)

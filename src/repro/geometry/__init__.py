@@ -17,7 +17,7 @@ from repro.geometry.intersect import (
     ray_triangle_intersect_batch,
 )
 from repro.geometry.morton import morton_decode_3d, morton_encode_3d, morton_codes
-from repro.geometry.ray import Ray, RayBatch
+from repro.geometry.ray import Ray, RayBatch, RayBatchValidation, validate_ray_batch
 from repro.geometry.triangle import Triangle, TriangleMesh
 from repro.geometry.vec import (
     vec_add,
@@ -33,6 +33,8 @@ __all__ = [
     "AABB",
     "Ray",
     "RayBatch",
+    "RayBatchValidation",
+    "validate_ray_batch",
     "Triangle",
     "TriangleMesh",
     "aabb_surface_area",

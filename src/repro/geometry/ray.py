@@ -9,11 +9,12 @@ terminates the search.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import RayValidationError
 from repro.geometry.vec import Vec3, vec_length, vec_normalize
 
 
@@ -114,6 +115,10 @@ class RayBatch:
             self.origins[idx], self.directions[idx], self.t_min[idx], self.t_max[idx]
         )
 
+    def validate(self, mode: str = "filter") -> "Tuple[RayBatch, RayBatchValidation]":
+        """Shorthand for :func:`validate_ray_batch` on this batch."""
+        return validate_ray_batch(self, mode=mode)
+
     @classmethod
     def concatenate(cls, batches: "list[RayBatch]") -> "RayBatch":
         """Concatenate several batches, preserving order."""
@@ -125,3 +130,110 @@ class RayBatch:
             np.concatenate([b.t_min for b in batches]),
             np.concatenate([b.t_max for b in batches]),
         )
+
+
+@dataclass
+class RayBatchValidation:
+    """Counters from one :func:`validate_ray_batch` pass.
+
+    A ray can trip several categories at once (e.g. a NaN origin *and* a
+    zero direction); each counter tallies its category independently,
+    while ``num_invalid`` counts distinct rays rejected.
+
+    Attributes:
+        total: rays inspected.
+        nonfinite_origins: rays with a NaN/inf origin component.
+        nonfinite_directions: rays with a NaN/inf direction component.
+        zero_directions: rays whose direction is exactly zero length.
+        invalid_intervals: rays with NaN bounds or ``t_min > t_max``.
+        kept: boolean mask over the input batch (True = ray survived).
+    """
+
+    total: int = 0
+    nonfinite_origins: int = 0
+    nonfinite_directions: int = 0
+    zero_directions: int = 0
+    invalid_intervals: int = 0
+    kept: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def num_invalid(self) -> int:
+        """Distinct rays rejected."""
+        if self.kept is None:
+            return 0
+        return int(self.total - int(np.count_nonzero(self.kept)))
+
+    @property
+    def ok(self) -> bool:
+        """True when every ray passed."""
+        return self.num_invalid == 0
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        if self.ok:
+            return f"{self.total} rays valid"
+        return (
+            f"{self.num_invalid}/{self.total} rays invalid "
+            f"(non-finite origins: {self.nonfinite_origins}, "
+            f"non-finite directions: {self.nonfinite_directions}, "
+            f"zero directions: {self.zero_directions}, "
+            f"bad intervals: {self.invalid_intervals})"
+        )
+
+
+def validate_ray_batch(
+    rays: RayBatch, mode: str = "filter"
+) -> Tuple[RayBatch, RayBatchValidation]:
+    """Screen a ray batch for NaN/inf and degenerate rays.
+
+    This is the input-boundary guard for everything that traverses: a
+    zero-length direction would raise deep inside :class:`Ray`
+    construction, and NaN coordinates silently fail every slab test.
+    Ray *generation* should never produce such rays, but fault injection
+    (and real-world malformed inputs) can.
+
+    Args:
+        rays: the batch to screen.
+        mode: ``"filter"`` returns a new batch with invalid rays removed
+            (the original is untouched); ``"raise"`` raises
+            :class:`~repro.errors.RayValidationError` if any ray is
+            invalid; ``"report"`` returns the original batch unchanged
+            and only fills in the counters.
+
+    Returns:
+        ``(batch, report)``; the batch is the filtered copy in
+        ``"filter"`` mode, the input otherwise.
+
+    Raises:
+        RayValidationError: in ``"raise"`` mode, if any ray is invalid.
+        ValueError: on an unknown ``mode``.
+    """
+    if mode not in ("filter", "raise", "report"):
+        raise ValueError(f"unknown validation mode {mode!r}")
+    n = len(rays)
+    finite_o = np.isfinite(rays.origins).all(axis=1)
+    finite_d = np.isfinite(rays.directions).all(axis=1)
+    nonzero_d = np.any(rays.directions != 0.0, axis=1)
+    # NaN comparisons are False, so check for NaN bounds explicitly.
+    interval_ok = (
+        ~np.isnan(rays.t_min) & ~np.isnan(rays.t_max) & (rays.t_min <= rays.t_max)
+    )
+    valid = finite_o & finite_d & nonzero_d & interval_ok
+
+    report = RayBatchValidation(
+        total=n,
+        nonfinite_origins=int(np.count_nonzero(~finite_o)),
+        nonfinite_directions=int(np.count_nonzero(~finite_d)),
+        zero_directions=int(np.count_nonzero(finite_d & ~nonzero_d)),
+        invalid_intervals=int(np.count_nonzero(~interval_ok)),
+        kept=valid,
+    )
+    if mode == "raise" and not report.ok:
+        raise RayValidationError(report.summary())
+    if report.ok or mode == "report":
+        return rays, report
+    idx = np.nonzero(valid)[0]
+    filtered = RayBatch(
+        rays.origins[idx], rays.directions[idx], rays.t_min[idx], rays.t_max[idx]
+    )
+    return filtered, report

@@ -140,6 +140,15 @@ class GPUConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     predictor: Optional[PredictorConfig] = None
     collector_timeout: int = 16
+    #: Hard cycle cap per SM run; ``None`` disables it.  When the
+    #: simulated clock passes this value the run aborts with a
+    #: :class:`repro.errors.SimulationStallError` carrying diagnostics,
+    #: instead of spinning until the host process is killed.
+    watchdog_cycles: Optional[int] = None
+    #: Stall detector: abort if this many consecutive warp iterations
+    #: complete without a single ray retiring.  Generous default - legit
+    #: runs retire rays orders of magnitude more often.
+    watchdog_stall_steps: int = 200_000
 
     def with_overrides(self, **kwargs) -> "GPUConfig":
         """Copy with selected fields replaced (sweep helper)."""

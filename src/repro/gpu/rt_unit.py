@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.bvh.nodes import FlatBVH
 from repro.core.predictor import RayPredictor
 from repro.core.repacking import PartialWarpCollector
+from repro.errors import SimulationStallError, TraversalError
 from repro.geometry.intersect import ray_aabb_intersect, ray_triangle_intersect
 from repro.geometry.ray import RayBatch
 from repro.gpu.config import GPUConfig
@@ -117,6 +118,8 @@ class _StepOutcome:
     box_tests: int = 0
     tri_tests: int = 0
     updates: int = 0
+    retired: int = 0
+    guard_restarts: int = 0
 
 
 @dataclass
@@ -148,6 +151,9 @@ class RTUnitResult:
     predictor_updates: int
     collector_warps: int
     collector_timeout_flushes: int
+    #: Threads whose speculative stack held an invalid node index and
+    #: were restarted from the root by the guard (0 in healthy runs).
+    guard_restarts: int = 0
 
     @property
     def total_accesses(self) -> int:
@@ -250,6 +256,11 @@ class RTUnit:
         tri_tests = 0
         predictor_lookups = 0
         predictor_updates = 0
+        guard_restarts = 0
+        retired_rays = 0
+        steps_since_retire = 0
+        watchdog_cycles = self.config.watchdog_cycles
+        watchdog_stall_steps = self.config.watchdog_stall_steps
         l1_before = (self.memory.l1.stats.accesses, self.memory.l1.stats.hits)
         l2_before = (self.memory.l2.stats.accesses, self.memory.l2.stats.hits)
         dram_before = self.memory.dram.stats.accesses
@@ -338,6 +349,35 @@ class RTUnit:
             box_tests += step.box_tests
             tri_tests += step.tri_tests
             predictor_updates += step.updates
+            guard_restarts += step.guard_restarts
+
+            # Watchdog: a corrupted state machine must abort with
+            # diagnostics, not spin until the host process is killed.
+            retired_rays += step.retired
+            steps_since_retire = 0 if step.retired else steps_since_retire + 1
+            if (watchdog_cycles is not None and now > watchdog_cycles) or (
+                steps_since_retire > watchdog_stall_steps
+            ):
+                reason = (
+                    f"cycle cap {watchdog_cycles} exceeded"
+                    if watchdog_cycles is not None and now > watchdog_cycles
+                    else f"{steps_since_retire} warp iterations without a ray retiring"
+                )
+                raise SimulationStallError(
+                    f"RT-unit watchdog fired at cycle {now}: {reason} "
+                    f"({retired_rays}/{len(threads)} rays retired, "
+                    f"{resident} resident warps, {len(pending)} source warps pending)",
+                    cycles=now,
+                    diagnostics={
+                        "retired_rays": retired_rays,
+                        "total_rays": len(threads),
+                        "resident_warps": resident,
+                        "pending_source_warps": len(pending),
+                        "buffer_used": buffer_used,
+                        "warp_steps": warp_steps,
+                        "collector_occupancy": len(collector),
+                    },
+                )
 
             if step.finished:
                 resident -= 1
@@ -383,6 +423,7 @@ class RTUnit:
             predictor_updates=predictor_updates,
             collector_warps=collector_warps,
             collector_timeout_flushes=collector.stats.timeout_flushes,
+            guard_restarts=guard_restarts,
         )
 
     # ------------------------------------------------------------------
@@ -472,6 +513,26 @@ class RTUnit:
                 out.mis_tri_fetches += thread.verify_tri_fetches
                 thread.restarted = True
                 node = 0  # restart the full traversal from the root
+            elif not 0 <= node < len(left):
+                # Speculative stack entry outside the BVH (a corrupted
+                # prediction that bypassed the predictor's range guard).
+                # A negative index would *silently* wrap in the Python
+                # node arrays - the worst possible failure.  Degrade:
+                # discard the speculative stack, charge the verification
+                # traffic as a misprediction, restart from the root.
+                if thread.restarted:
+                    raise TraversalError(
+                        f"ray {thread.ray_id} popped invalid node {node} "
+                        "after a guard restart (corrupted traversal state)",
+                        bad_nodes=[node],
+                        num_nodes=len(left),
+                    )
+                out.mis_node_fetches += thread.verify_node_fetches
+                out.mis_tri_fetches += thread.verify_tri_fetches
+                out.guard_restarts += 1
+                thread.restarted = True
+                thread.stack = []
+                node = 0
 
             thread_lines: List[int] = []
             if left[node] < 0:
@@ -612,6 +673,7 @@ class RTUnit:
         if thread.trained:
             return
         thread.trained = True
+        out.retired += 1
         if thread.hit_tri >= 0 and self.predictor is not None:
             self.predictor.train(thread.ray_hash, thread.hit_tri)
             out.updates += 1

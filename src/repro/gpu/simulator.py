@@ -104,6 +104,11 @@ class SimOutput:
         return sum(vals) / len(vals) if vals else 0.0
 
     @property
+    def guard_restarts(self) -> int:
+        """Threads restarted by the speculative-stack guard, all SMs."""
+        return self._sum("guard_restarts")
+
+    @property
     def predictor_lookups(self) -> int:
         """Predictor-table lookups issued."""
         return self._sum("predictor_lookups")

@@ -14,8 +14,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Optional
+
 from repro.bvh.nodes import FlatBVH
-from repro.geometry.ray import RayBatch
+from repro.geometry.ray import RayBatch, RayBatchValidation, validate_ray_batch
 from repro.rays.camera import PinholeCamera
 from repro.rays.sampling import cosine_hemisphere_batch
 from repro.scenes.scene import Scene
@@ -39,6 +41,10 @@ class AOWorkload:
         num_primary: primary rays traced (width * height).
         num_primary_hits: primary rays that hit geometry.
         width, height, spp: the viewport parameters used.
+        validation: input-screening counters for the generated rays
+            (degenerate surface normals can yield zero-length AO
+            directions; such rays are filtered out, and the counters
+            record how many).
     """
 
     rays: RayBatch
@@ -48,6 +54,7 @@ class AOWorkload:
     width: int
     height: int
     spp: int
+    validation: Optional[RayBatchValidation] = None
 
     def __len__(self) -> int:
         return len(self.rays)
@@ -125,6 +132,11 @@ def generate_ao_workload(
 
     rays = generate_ao_rays(scene, bvh, hit_points, normals, spp, rng)
     pixel_index = np.repeat(hit_idx, spp)
+    # Input boundary guard: drop NaN/inf/zero-direction rays (possible
+    # with degenerate geometry) so downstream traversal never sees them.
+    rays, validation = validate_ray_batch(rays, mode="filter")
+    if not validation.ok:
+        pixel_index = pixel_index[validation.kept]
     return AOWorkload(
         rays=rays,
         pixel_index=pixel_index,
@@ -133,4 +145,5 @@ def generate_ao_workload(
         width=width,
         height=height,
         spp=spp,
+        validation=validation,
     )

@@ -9,7 +9,7 @@ terrain for Lost Empire) at configurable triangle budgets, plus a Wavefront
 OBJ loader so the original models can be dropped in unchanged.
 """
 
-from repro.scenes.obj import load_obj, save_obj
+from repro.scenes.obj import ObjParseReport, load_obj, load_obj_with_report, save_obj
 from repro.scenes.registry import SCENE_CODES, available_scenes, get_scene
 from repro.scenes.scene import CameraSpec, Scene
 
@@ -19,6 +19,8 @@ __all__ = [
     "Scene",
     "available_scenes",
     "get_scene",
+    "ObjParseReport",
     "load_obj",
+    "load_obj_with_report",
     "save_obj",
 ]

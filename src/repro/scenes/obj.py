@@ -5,43 +5,139 @@ loader lets users drop those assets in and run every experiment against
 the real geometry.  Only vertex (``v``) and face (``f``) records are
 consumed; faces with more than three vertices are fan-triangulated and
 negative (relative) indices are supported per the OBJ specification.
+
+Robustness: real OBJ exports are messy - non-numeric tokens, truncated
+records, dangling face indices.  By default the loader *skips* malformed
+``v``/``f`` lines and collects them into an :class:`ObjParseReport`
+(see :func:`load_obj_with_report`); ``strict=True`` restores
+fail-on-first-error behavior for pipelines that prefer loud inputs.
+Either way, a file that yields no usable faces raises
+:class:`~repro.errors.SceneLoadError`.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Tuple
 
 import numpy as np
 
+from repro.errors import SceneLoadError
 from repro.geometry.triangle import TriangleMesh
 from repro.scenes.scene import CameraSpec, Scene
 
 
-def load_obj(path: str | os.PathLike, name: str | None = None) -> Scene:
+@dataclass(frozen=True)
+class ObjLineWarning:
+    """One skipped malformed line."""
+
+    line_no: int
+    line: str
+    reason: str
+
+
+@dataclass
+class ObjParseReport:
+    """Collected diagnostics from one lenient OBJ parse.
+
+    Attributes:
+        path: the file parsed.
+        num_vertices / num_faces: records successfully consumed
+            (faces counted after fan triangulation).
+        warnings: every malformed line skipped, in file order.
+    """
+
+    path: str
+    num_vertices: int = 0
+    num_faces: int = 0
+    warnings: List[ObjLineWarning] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no line was skipped."""
+        return not self.warnings
+
+    def summary(self) -> str:
+        """One-line report; details stay in ``warnings``."""
+        base = (
+            f"{self.path}: {self.num_vertices} vertices, "
+            f"{self.num_faces} triangles"
+        )
+        if self.ok:
+            return base
+        head = "; ".join(
+            f"line {w.line_no}: {w.reason}" for w in self.warnings[:3]
+        )
+        more = f" (+{len(self.warnings) - 3} more)" if len(self.warnings) > 3 else ""
+        return f"{base}, {len(self.warnings)} malformed lines skipped [{head}{more}]"
+
+
+def load_obj(path: str | os.PathLike, name: str | None = None, strict: bool = False) -> Scene:
     """Load a Wavefront OBJ file into a :class:`Scene`.
 
     The default camera is placed on the bounding-box diagonal looking at
     the scene center, which is serviceable for AO workloads.
+
+    Args:
+        path: the OBJ file.
+        name: scene name (defaults to the file stem).
+        strict: raise on the first malformed ``v``/``f`` line instead of
+            skipping it.
+
+    Raises:
+        SceneLoadError: if no usable faces remain (or, with
+            ``strict=True``, on the first malformed line).  Subclasses
+            :class:`ValueError` for backward compatibility.
     """
+    scene, _ = load_obj_with_report(path, name=name, strict=strict)
+    return scene
+
+
+def load_obj_with_report(
+    path: str | os.PathLike, name: str | None = None, strict: bool = False
+) -> Tuple[Scene, ObjParseReport]:
+    """Like :func:`load_obj`, but also return the parse diagnostics."""
+    report = ObjParseReport(path=str(path))
     vertices: List[List[float]] = []
     faces: List[List[int]] = []
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        for line in handle:
-            line = line.strip()
+        for line_no, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
             if not line or line.startswith("#"):
                 continue
             parts = line.split()
             tag = parts[0]
             if tag == "v" and len(parts) >= 4:
-                vertices.append([float(parts[1]), float(parts[2]), float(parts[3])])
+                try:
+                    vertices.append(
+                        [float(parts[1]), float(parts[2]), float(parts[3])]
+                    )
+                except ValueError:
+                    _malformed(report, line_no, line, "non-numeric vertex", strict)
             elif tag == "f" and len(parts) >= 4:
-                indices = [_parse_face_index(tok, len(vertices)) for tok in parts[1:]]
+                try:
+                    indices = [
+                        _parse_face_index(tok, len(vertices)) for tok in parts[1:]
+                    ]
+                except ValueError as exc:
+                    _malformed(report, line_no, line, str(exc), strict)
+                    continue
                 for i in range(1, len(indices) - 1):
                     faces.append([indices[0], indices[i], indices[i + 1]])
+            elif tag in ("v", "f"):
+                # Short record: today's strict behavior silently ignores
+                # it (the length guard), so only the lenient path warns.
+                if not strict:
+                    _malformed(
+                        report, line_no, line,
+                        f"short {tag!r} record ({len(parts) - 1} fields)", strict,
+                    )
 
+    report.num_vertices = len(vertices)
+    report.num_faces = len(faces)
     if not faces:
-        raise ValueError(f"OBJ file {path!r} contains no faces")
+        raise SceneLoadError(f"OBJ file {path!r} contains no faces")
     mesh = TriangleMesh.from_vertices_faces(
         np.asarray(vertices, dtype=np.float64), np.asarray(faces, dtype=np.int64)
     )
@@ -53,13 +149,23 @@ def load_obj(path: str | os.PathLike, name: str | None = None) -> Scene:
         aabb.hi[2] + 0.25 * (aabb.hi[2] - aabb.lo[2] + 1e-9),
     )
     scene_name = name or os.path.splitext(os.path.basename(str(path)))[0]
-    return Scene(
+    scene = Scene(
         name=scene_name,
         code=scene_name[:2].upper(),
         mesh=mesh,
         camera=CameraSpec(eye=eye, look_at=center),
         description=f"Loaded from OBJ file {path}",
     )
+    return scene, report
+
+
+def _malformed(
+    report: ObjParseReport, line_no: int, line: str, reason: str, strict: bool
+) -> None:
+    """Record (or, in strict mode, raise on) one malformed line."""
+    if strict:
+        raise SceneLoadError(f"{report.path}: line {line_no}: {reason}: {line!r}")
+    report.warnings.append(ObjLineWarning(line_no=line_no, line=line, reason=reason))
 
 
 def save_obj(scene: Scene, path: str | os.PathLike) -> None:

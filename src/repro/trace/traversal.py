@@ -21,10 +21,37 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.bvh.nodes import FlatBVH
+from repro.errors import TraversalError
 from repro.geometry.intersect import ray_aabb_intersect, ray_triangle_intersect
 from repro.geometry.ray import Ray
 from repro.geometry.ray import RayBatch
 from repro.trace.counters import TraversalStats
+
+
+def _checked_start_nodes(start_nodes: Sequence[int], num_nodes: int) -> List[int]:
+    """Validate speculative entry points before traversal indexes them.
+
+    The predictor's verification traversal starts at table-provided node
+    indices; a corrupted entry must surface as a structured
+    :class:`~repro.errors.TraversalError` here, never as a raw
+    ``IndexError`` (or, worse, a silently wrong negative index) inside
+    the hot loop.
+    """
+    checked: List[int] = []
+    bad: List[int] = []
+    for raw in start_nodes:
+        node = int(raw)
+        if 0 <= node < num_nodes:
+            checked.append(node)
+        else:
+            bad.append(node)
+    if bad:
+        raise TraversalError(
+            f"start node(s) {bad} outside BVH [0, {num_nodes})",
+            bad_nodes=bad,
+            num_nodes=num_nodes,
+        )
+    return checked
 
 
 def occlusion_any_hit(
@@ -48,6 +75,11 @@ def occlusion_any_hit(
 
     Returns:
         True if the ray intersects any triangle within its interval.
+
+    Raises:
+        TraversalError: if any ``start_nodes`` entry is outside the BVH
+            (the speculation boundary guard; a full traversal never
+            raises).
     """
     return (
         occlusion_any_hit_tri(
@@ -97,7 +129,7 @@ def occlusion_any_hit_tri(
         )
         stack: List[int] = [0] if hit_root else []
     else:
-        stack = list(start_nodes)
+        stack = _checked_start_nodes(start_nodes, len(left))
 
     while stack:
         node = stack.pop()

@@ -34,6 +34,40 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_faults_command(self, capsys):
+        assert main([
+            "--detail", "0.2", "faults", "SP",
+            "--size", "12", "--spp", "1", "--rays", "250",
+            "--rate", "0.15", "--in-flight", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "faults injected" in out
+
+    def test_faults_command_with_ray_perturbation(self, capsys):
+        assert main([
+            "--detail", "0.2", "faults", "FR",
+            "--size", "10", "--spp", "1", "--rays", "150",
+            "--rate", "0.2", "--in-flight", "16", "--perturb-rays",
+        ]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_unknown_scene_exits_with_input_code(self, capsys):
+        from repro.errors import EXIT_INPUT
+
+        assert main(["quick", "ZZ"]) == EXIT_INPUT
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_bad_fault_rate_exits_with_input_code(self, capsys):
+        from repro.errors import EXIT_INPUT
+
+        assert main([
+            "--detail", "0.2", "faults", "SP", "--rate", "7",
+        ]) == EXIT_INPUT
+        assert "table_rate" in capsys.readouterr().err
+
     def test_report_command(self, capsys, tmp_path):
         results = tmp_path / "results"
         results.mkdir()

@@ -2,8 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
-from repro.scenes.obj import load_obj, save_obj
+from repro.errors import SceneLoadError
+from repro.scenes.obj import load_obj, load_obj_with_report, save_obj
 from repro.scenes.scene import CameraSpec, Scene
 
 
@@ -90,6 +93,92 @@ class TestLoadObj:
         scene = load_obj(path)
         center = scene.aabb().center()
         assert np.allclose(scene.camera.look_at, center)
+
+
+OBJ_MESSY = """\
+v 0 0 0
+v 1 0 0
+v nan_is_fine_but_this_is_not 0 0
+v 0 1 0
+vribble
+f 1 2 3
+f 1 2
+f 1 2 99
+f one two three
+"""
+
+
+class TestLenientParsing:
+    def test_messy_file_loads_with_warnings(self, tmp_path):
+        path = tmp_path / "messy.obj"
+        path.write_text(OBJ_MESSY)
+        scene, report = load_obj_with_report(path)
+        assert scene.num_triangles == 1
+        assert not report.ok
+        reasons = [w.reason for w in report.warnings]
+        assert any("non-numeric vertex" in r for r in reasons)
+        assert any("short 'f' record" in r for r in reasons)
+        assert any("out of range" in r for r in reasons)
+        # line numbers point at the offending lines, in file order
+        assert [w.line_no for w in report.warnings] == sorted(
+            w.line_no for w in report.warnings
+        )
+        assert "malformed lines skipped" in report.summary()
+
+    def test_strict_mode_raises_on_first_bad_line(self, tmp_path):
+        path = tmp_path / "messy.obj"
+        path.write_text(OBJ_MESSY)
+        with pytest.raises(SceneLoadError) as info:
+            load_obj(path, strict=True)
+        assert "line 3" in str(info.value)
+
+    def test_clean_file_reports_ok(self, tmp_path):
+        path = tmp_path / "clean.obj"
+        path.write_text(OBJ_SIMPLE)
+        scene, report = load_obj_with_report(path)
+        assert report.ok
+        assert report.num_faces == scene.num_triangles == 2
+        assert report.summary().endswith("2 triangles")
+
+    def test_truncated_file_no_faces_raises_scene_error(self, tmp_path):
+        # Simulate truncation mid-write: vertices made it, faces did not.
+        path = tmp_path / "trunc.obj"
+        path.write_text("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2\n")
+        with pytest.raises(SceneLoadError):
+            load_obj(path)
+        # SceneLoadError still satisfies legacy except ValueError handlers.
+        assert issubclass(SceneLoadError, ValueError)
+
+    @settings(
+        max_examples=25,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        garbage=st.lists(
+            st.text(
+                alphabet=st.characters(blacklist_categories=("Cs",),
+                                       blacklist_characters="\r\n"),
+                max_size=30,
+            ),
+            max_size=12,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_fuzz_garbage_lines_never_crash(self, tmp_path, garbage, seed):
+        """Garbage interleaved with a valid triangle: the loader either
+        returns a Scene or raises SceneLoadError - nothing else."""
+        rng = np.random.default_rng(seed)
+        lines = ["v 0 0 0", "v 1 0 0", "v 0 1 0", "f 1 2 3"]
+        for text in garbage:
+            lines.insert(int(rng.integers(len(lines) + 1)), text)
+        path = tmp_path / f"fuzz{seed}.obj"
+        path.write_text("\n".join(lines) + "\n")
+        try:
+            scene, report = load_obj_with_report(path)
+        except SceneLoadError:
+            return  # the valid face itself got corrupted by an insertion
+        assert scene.num_triangles >= 1
+        assert np.isfinite(scene.mesh.v0).all()
 
 
 class TestRoundTrip:

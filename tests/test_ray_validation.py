@@ -1,0 +1,101 @@
+"""Ray-batch input-boundary validation tests.
+
+`validate_ray_batch` is the screen between workload generation (or fault
+injection) and traversal: NaN/inf coordinates silently fail every slab
+test, and a zero-length direction raises deep inside `Ray` construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import EXIT_INPUT, RayValidationError, exit_code_for
+from repro.geometry.ray import Ray, RayBatch, validate_ray_batch
+from repro.rays import generate_ao_workload
+from repro.trace.traversal import occlusion_any_hit
+
+
+def _batch_with_defects():
+    origins = np.zeros((6, 3))
+    directions = np.tile([0.0, 0.0, 1.0], (6, 1))
+    t_min = np.zeros(6)
+    t_max = np.full(6, 10.0)
+    origins[1, 0] = np.nan          # non-finite origin
+    origins[2, 2] = np.inf          # non-finite origin
+    directions[3] = 0.0             # zero-length direction
+    directions[4, 1] = np.nan       # non-finite direction
+    t_max[5] = np.nan               # invalid interval
+    return RayBatch(origins, directions, t_min, t_max)
+
+
+class TestValidateRayBatch:
+    def test_filter_removes_each_defect_class(self):
+        rays = _batch_with_defects()
+        filtered, report = validate_ray_batch(rays, mode="filter")
+        assert len(filtered) == 1
+        assert report.total == 6
+        assert report.num_invalid == 5
+        assert report.nonfinite_origins == 2
+        assert report.nonfinite_directions == 1
+        assert report.zero_directions == 1
+        assert report.invalid_intervals == 1
+        np.testing.assert_array_equal(
+            report.kept, [True, False, False, False, False, False]
+        )
+        # The input batch is untouched.
+        assert len(rays) == 6
+
+    def test_clean_batch_passes_through(self):
+        origins = np.zeros((3, 3))
+        directions = np.tile([1.0, 0.0, 0.0], (3, 1))
+        rays = RayBatch(origins, directions)
+        filtered, report = validate_ray_batch(rays)
+        assert report.ok
+        assert filtered is rays
+        assert report.summary() == "3 rays valid"
+
+    def test_raise_mode(self):
+        with pytest.raises(RayValidationError) as info:
+            validate_ray_batch(_batch_with_defects(), mode="raise")
+        assert "5/6 rays invalid" in str(info.value)
+        assert exit_code_for(info.value) == EXIT_INPUT
+
+    def test_report_mode_keeps_batch(self):
+        rays = _batch_with_defects()
+        same, report = validate_ray_batch(rays, mode="report")
+        assert same is rays
+        assert report.num_invalid == 5
+        assert "zero directions: 1" in report.summary()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            validate_ray_batch(_batch_with_defects(), mode="bogus")
+
+    def test_batch_method_shorthand(self):
+        filtered, report = _batch_with_defects().validate()
+        assert len(filtered) == 1
+        assert not report.ok
+
+
+class TestWorkloadWiring:
+    def test_aogen_attaches_validation(self, small_scene, small_bvh):
+        workload = generate_ao_workload(
+            small_scene, small_bvh, width=8, height=8, spp=1, seed=5
+        )
+        assert workload.validation is not None
+        assert workload.validation.ok  # generation never emits bad rays
+        assert workload.validation.total == len(workload.rays)
+        assert len(workload.pixel_index) == len(workload.rays)
+
+
+class TestDegenerateRayTraversal:
+    def test_nan_origin_ray_misses_without_crashing(self, small_bvh):
+        ray = Ray((np.nan, 0.0, 0.0), (0.0, 0.0, 1.0), 0.0, 100.0)
+        assert occlusion_any_hit(small_bvh, ray) is False
+
+    def test_inf_origin_ray_misses_without_crashing(self, small_bvh):
+        ray = Ray((np.inf, 1.0, 1.0), (0.0, 1.0, 0.0), 0.0, 100.0)
+        assert occlusion_any_hit(small_bvh, ray) is False
+
+    def test_nan_direction_ray_misses_without_crashing(self, small_bvh):
+        ray = Ray((1.0, 1.0, 1.0), (np.nan, 0.0, 1.0), 0.0, 100.0)
+        assert occlusion_any_hit(small_bvh, ray) is False

@@ -14,7 +14,7 @@ Expected shape: each mechanism matters (cycles change measurably), and
 the baseline ordering (barrier slower, fewer banks slower) holds.
 """
 
-from repro.analysis.experiments import SWEEP_WORKLOAD, scaled_predictor_config
+from repro.analysis.experiments import SWEEP_WORKLOAD
 from repro.analysis.tables import format_table
 from repro.gpu.config import DRAMConfig, MemoryConfig, RTUnitConfig
 

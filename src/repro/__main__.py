@@ -5,6 +5,7 @@ Commands:
     quick SCENE       baseline-vs-predictor headline numbers for a scene
     limit SCENE       run the Figure 2 limit study on a scene
     faults SCENE      differential fault-injection oracle for a scene
+    bench             scalar-vs-wavefront timing, BENCH_*.json artifacts
     report            stitch results/*.txt into a single REPORT.md
 
 The CLI is a thin veneer over the library; the benchmark harness under
@@ -112,11 +113,33 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         in_flight=args.in_flight,
         perturb_rays=args.perturb_rays,
         scene=scene.name,
+        engine=args.engine,
     )
     print(report.summary())
     # A mismatch is the one result this command exists to catch; raise
     # the structured error so main() maps it to its exit code.
     report.raise_on_mismatch()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import QUICK_PRESET, run_benchmarks, write_payload
+    from repro.bench.harness import FULL_PRESET, check_against_baselines, summarize
+
+    preset = QUICK_PRESET if args.quick else FULL_PRESET
+    payload = run_benchmarks(preset, scenes=args.scenes, progress=print)
+    print(summarize(payload))
+    path = write_payload(payload, args.out)
+    print(f"wrote {path}")
+    if args.check:
+        problems = check_against_baselines(
+            payload, args.baselines, tolerance=args.tolerance
+        )
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"regression check passed (tolerance {args.tolerance:.0%})")
     return 0
 
 
@@ -165,6 +188,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="delayed-update window (smaller = more predictions)")
     faults.add_argument("--perturb-rays", action="store_true",
                         help="also inject NaN/inf/zero-direction rays")
+    faults.add_argument("--engine", default="scalar",
+                        help="traversal engine: scalar or wavefront")
+
+    bench = sub.add_parser(
+        "bench",
+        help="time scalar vs. wavefront engines, emit BENCH_*.json",
+        description="Run the benchmark harness (repro.bench) on pinned-seed "
+        "workloads and write a BENCH_<preset>.json artifact; with --check, "
+        "fail on regression against the committed baselines.",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke preset (3 scenes, <60s) instead of full")
+    bench.add_argument("--scenes", nargs="+", metavar="CODE",
+                       help="restrict to these scene codes")
+    bench.add_argument("--out", default="benchmarks/results",
+                       help="directory for the BENCH_*.json artifact")
+    bench.add_argument("--baselines", default="benchmarks/baselines",
+                       help="directory holding committed baseline artifacts")
+    bench.add_argument("--check", action="store_true",
+                       help="fail (exit 1) on >tolerance regression vs baseline")
+    bench.add_argument("--tolerance", type=float, default=0.2,
+                       help="allowed relative regression (default 0.2)")
 
     report = sub.add_parser("report", help="collect results/ into REPORT.md")
     report.add_argument("--results", default="results")
@@ -176,6 +221,7 @@ def main(argv: list[str] | None = None) -> int:
         "quick": _cmd_quick,
         "limit": _cmd_limit,
         "faults": _cmd_faults,
+        "bench": _cmd_bench,
         "report": _cmd_report,
     }
     try:

@@ -1,0 +1,367 @@
+"""Timed scalar-vs-wavefront benchmarks emitting ``BENCH_<name>.json``.
+
+Three benchmarks run per scene, each once per engine on identical
+pinned-seed workloads:
+
+* ``occlusion_trace`` - batch any-hit tracing of the scene's AO rays
+  (the paper's headline workload and the wavefront engine's target);
+* ``closest_trace``   - batch closest-hit tracing of the same rays;
+* ``predictor_sim``   - the functional predictor simulation
+  (:func:`repro.core.simulate.simulate_predictor`) over a capped prefix.
+
+The JSON artifact (schema ``repro-bench/1``, documented in
+``docs/BENCHMARKING.md``) records wall time, rays/second, and the
+deterministic traversal counters, plus derived wavefront-over-scalar
+speedups.  Regression checking intentionally gates on *machine
+independent* quantities - the speedup ratios (both engines time on the
+same host, so the ratio transfers) and the traversal counters (exact
+functions of seed + scene) - because absolute rays/second differs
+across CI hosts; absolute numbers are recorded for trend-watching only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bvh import build_bvh
+from repro.core.simulate import simulate_predictor
+from repro.rays import generate_ao_workload
+from repro.scenes import get_scene
+from repro.trace import TraversalStats, trace_closest_batch, trace_occlusion_batch
+from repro.trace.wavefront import ENGINES
+
+#: Artifact schema identifier; bump on incompatible layout changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Benchmarks gated by the regression check, in artifact order.
+BENCHMARKS = ("occlusion_trace", "closest_trace", "predictor_sim")
+
+#: Allowed relative regression before the check fails (satellite spec: 20%).
+DEFAULT_TOLERANCE = 0.20
+
+
+@dataclass(frozen=True)
+class BenchPreset:
+    """A pinned benchmark configuration.
+
+    Everything that shapes the workload is recorded here and embedded in
+    the artifact, so a baseline is reproducible from its JSON alone.
+    """
+
+    name: str
+    scenes: Tuple[str, ...]
+    width: int
+    height: int
+    spp: int
+    seed: int
+    detail: float
+    sim_rays: int
+    in_flight: int = 32
+    repeats: int = 2
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: scenes={','.join(self.scenes)} "
+            f"{self.width}x{self.height}@{self.spp}spp seed={self.seed} "
+            f"detail={self.detail} sim_rays={self.sim_rays}"
+        )
+
+
+#: CI smoke preset: tiny scenes, fixed seeds, well under a minute.
+QUICK_PRESET = BenchPreset(
+    name="quick",
+    scenes=("SB", "SP", "CK"),
+    width=16,
+    height=16,
+    spp=2,
+    seed=1,
+    detail=0.4,
+    sim_rays=256,
+)
+
+#: Full preset: all seven scenes at the default AO workload knobs.
+FULL_PRESET = BenchPreset(
+    name="wavefront",
+    scenes=("SB", "SP", "LE", "LR", "FR", "BI", "CK"),
+    width=64,
+    height=64,
+    spp=2,
+    seed=1,
+    detail=1.0,
+    sim_rays=2048,
+)
+
+
+@dataclass
+class BenchRecord:
+    """One timed run of one benchmark on one scene with one engine."""
+
+    benchmark: str
+    scene: str
+    engine: str
+    rays: int
+    wall_time_s: float
+    rays_per_sec: float
+    node_fetches: int
+    tri_fetches: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def _timed(fn, repeats: int) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall time for ``fn()`` (minimum damps noise)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _trace_record(
+    benchmark: str, scene_code: str, engine: str, bvh, rays, repeats: int
+) -> BenchRecord:
+    stats = TraversalStats()
+    if benchmark == "occlusion_trace":
+        def run():
+            return trace_occlusion_batch(bvh, rays, stats=stats, engine=engine)
+    else:
+        def run():
+            return trace_closest_batch(bvh, rays, stats=stats, engine=engine)
+    wall, _ = _timed(run, repeats)
+    n = len(rays)
+    # Counters accumulated across repeats; report the per-run share.
+    runs = max(1, repeats)
+    return BenchRecord(
+        benchmark=benchmark,
+        scene=scene_code,
+        engine=engine,
+        rays=n,
+        wall_time_s=round(wall, 6),
+        rays_per_sec=round(n / wall, 1) if wall > 0 else float("inf"),
+        node_fetches=stats.node_fetches // runs,
+        tri_fetches=stats.tri_fetches // runs,
+    )
+
+
+def _sim_record(
+    scene_code: str, engine: str, bvh, rays, preset: BenchPreset
+) -> BenchRecord:
+    sub = rays.subset(np.arange(min(preset.sim_rays, len(rays))))
+
+    def run():
+        return simulate_predictor(
+            bvh, sub, in_flight=preset.in_flight, engine=engine
+        )
+
+    # The simulation trains a fresh table per call, so repeats are
+    # independent; time a single run per repeat and keep the best.
+    wall, result = _timed(run, preset.repeats)
+    n = len(sub)
+    return BenchRecord(
+        benchmark="predictor_sim",
+        scene=scene_code,
+        engine=engine,
+        rays=n,
+        wall_time_s=round(wall, 6),
+        rays_per_sec=round(n / wall, 1) if wall > 0 else float("inf"),
+        node_fetches=result.predictor_node_fetches,
+        tri_fetches=result.predictor_tri_fetches,
+        extra={
+            "verified_rate": round(result.verified_rate, 6),
+            "memory_savings": round(result.memory_savings, 6),
+        },
+    )
+
+
+def run_benchmarks(
+    preset: BenchPreset,
+    engines: Sequence[str] = ENGINES,
+    scenes: Optional[Sequence[str]] = None,
+    progress=None,
+) -> dict:
+    """Run the full benchmark matrix for ``preset``.
+
+    Args:
+        preset: the pinned configuration to run.
+        engines: traversal engines to time (default: both).
+        scenes: optional scene-code override (subset runs for quick
+            local iteration; the artifact records what actually ran).
+        progress: optional callable receiving one-line status strings.
+
+    Returns:
+        The artifact payload (JSON-serializable dict).
+    """
+    say = progress or (lambda msg: None)
+    scene_codes = tuple(scenes) if scenes else preset.scenes
+    records: List[BenchRecord] = []
+    for code in scene_codes:
+        say(f"[{code}] building scene + BVH (detail={preset.detail})")
+        scene = get_scene(code, detail=preset.detail)
+        bvh = build_bvh(scene.mesh)
+        workload = generate_ao_workload(
+            scene,
+            bvh,
+            width=preset.width,
+            height=preset.height,
+            spp=preset.spp,
+            seed=preset.seed,
+        )
+        rays = workload.rays
+        say(f"[{code}] {len(rays)} AO rays")
+        for benchmark in ("occlusion_trace", "closest_trace"):
+            for engine in engines:
+                rec = _trace_record(benchmark, code, engine, bvh, rays, preset.repeats)
+                records.append(rec)
+                say(
+                    f"[{code}] {benchmark:16s} {engine:9s} "
+                    f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
+                )
+        for engine in engines:
+            rec = _sim_record(code, engine, bvh, rays, preset)
+            records.append(rec)
+            say(
+                f"[{code}] {'predictor_sim':16s} {engine:9s} "
+                f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
+            )
+    return _build_payload(preset, scene_codes, records)
+
+
+def _build_payload(
+    preset: BenchPreset, scene_codes: Sequence[str], records: List[BenchRecord]
+) -> dict:
+    by_key = {(r.benchmark, r.scene, r.engine): r for r in records}
+    speedups: Dict[str, Dict[str, float]] = {}
+    for benchmark in BENCHMARKS:
+        per_scene: Dict[str, float] = {}
+        for code in scene_codes:
+            scalar = by_key.get((benchmark, code, "scalar"))
+            wave = by_key.get((benchmark, code, "wavefront"))
+            if scalar and wave and wave.wall_time_s > 0:
+                per_scene[code] = round(scalar.wall_time_s / wave.wall_time_s, 3)
+        if per_scene:
+            speedups[benchmark] = per_scene
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": preset.name,
+        "preset": asdict(preset),
+        "scenes": list(scene_codes),
+        "results": [asdict(r) for r in records],
+        "derived": {"speedup_wavefront_over_scalar": speedups},
+    }
+
+
+def write_payload(payload: dict, out_dir: str) -> str:
+    """Write ``BENCH_<name>.json`` under ``out_dir``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{payload['name']}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_payload(path: str) -> dict:
+    """Load a ``BENCH_*.json`` artifact, validating its schema tag."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported benchmark schema {schema!r} "
+            f"(expected {BENCH_SCHEMA!r})"
+        )
+    return payload
+
+
+def compare_payloads(
+    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Regression check: current run vs. a committed baseline.
+
+    Gated quantities (see module docstring for why):
+
+    * each wavefront-over-scalar **speedup** may not fall more than
+      ``tolerance`` below its baseline value;
+    * each record's **node/tri fetch counters** may not drift more than
+      ``tolerance`` from the baseline (they are deterministic for a
+      pinned seed, so any drift is an algorithm change - new traversal
+      logic should re-baseline deliberately, not silently).
+
+    Returns:
+        Human-readable regression messages; empty means the gate passes.
+    """
+    problems: List[str] = []
+    base_speed = baseline.get("derived", {}).get("speedup_wavefront_over_scalar", {})
+    cur_speed = current.get("derived", {}).get("speedup_wavefront_over_scalar", {})
+    for benchmark, scenes in base_speed.items():
+        for code, base_value in scenes.items():
+            cur_value = cur_speed.get(benchmark, {}).get(code)
+            if cur_value is None:
+                problems.append(
+                    f"{benchmark}/{code}: speedup missing from current run "
+                    f"(baseline {base_value}x)"
+                )
+                continue
+            floor = base_value * (1.0 - tolerance)
+            if cur_value < floor:
+                problems.append(
+                    f"{benchmark}/{code}: speedup regressed to {cur_value}x "
+                    f"(baseline {base_value}x, floor {floor:.2f}x)"
+                )
+
+    cur_records = {
+        (r["benchmark"], r["scene"], r["engine"]): r
+        for r in current.get("results", [])
+    }
+    for base_rec in baseline.get("results", []):
+        key = (base_rec["benchmark"], base_rec["scene"], base_rec["engine"])
+        cur_rec = cur_records.get(key)
+        if cur_rec is None:
+            problems.append(f"{'/'.join(key)}: record missing from current run")
+            continue
+        for counter in ("node_fetches", "tri_fetches"):
+            base_value = base_rec[counter]
+            cur_value = cur_rec[counter]
+            if base_value == 0:
+                continue
+            drift = abs(cur_value - base_value) / base_value
+            if drift > tolerance:
+                problems.append(
+                    f"{'/'.join(key)}: {counter} drifted {drift:.1%} "
+                    f"({base_value} -> {cur_value})"
+                )
+    return problems
+
+
+def check_against_baselines(
+    payload: dict, baseline_dir: str, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Compare ``payload`` with its committed baseline, if one exists.
+
+    A missing baseline is reported as a problem: the gate must never
+    silently pass because someone forgot to commit the artifact.
+    """
+    path = os.path.join(baseline_dir, f"BENCH_{payload['name']}.json")
+    if not os.path.exists(path):
+        return [f"no committed baseline at {path}"]
+    return compare_payloads(payload, load_payload(path), tolerance=tolerance)
+
+
+def summarize(payload: dict) -> str:
+    """Short human-readable summary of an artifact (CLI output)."""
+    lines = [f"benchmark artifact: {payload['name']} ({payload['schema']})"]
+    speed = payload.get("derived", {}).get("speedup_wavefront_over_scalar", {})
+    for benchmark in BENCHMARKS:
+        per_scene = speed.get(benchmark)
+        if not per_scene:
+            continue
+        rendered = "  ".join(f"{code}={value}x" for code, value in per_scene.items())
+        lines.append(f"  {benchmark:16s} wavefront speedup: {rendered}")
+    return "\n".join(lines)

@@ -9,9 +9,9 @@ form and exposes :meth:`FlatBVH.ancestors` for any Go Up Level.
 """
 
 from repro.bvh.builder import BinnedSAHBuilder, MedianSplitBuilder, build_bvh
+from repro.bvh.io import load_bvh, save_bvh
 from repro.bvh.lbvh import LBVHBuilder
 from repro.bvh.nodes import NODE_SIZE_BYTES, TRIANGLE_SIZE_BYTES, FlatBVH
-from repro.bvh.io import load_bvh, save_bvh
 from repro.bvh.refit import jitter_mesh, refit_bvh
 from repro.bvh.stats import BVHStats, compute_stats
 from repro.bvh.validate import validate_bvh

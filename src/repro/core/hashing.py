@@ -20,7 +20,7 @@ index-width chunks and xor-ing them, like the gshare branch predictor.
 from __future__ import annotations
 
 import math
-from typing import Protocol, Sequence, Tuple
+from typing import Protocol, Sequence
 
 import numpy as np
 

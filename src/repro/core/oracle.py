@@ -22,10 +22,8 @@ closure computation adds no simulated cost).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
 
 from repro.bvh.nodes import FlatBVH
 from repro.core.predictor import PredictorConfig, RayPredictor

@@ -13,7 +13,7 @@ architecturally visible register state is touched.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 #: SIMT width of a warp.

@@ -19,7 +19,7 @@ rays into the same window, where they cannot train one another.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -30,6 +30,11 @@ from repro.errors import TraversalError
 from repro.geometry.ray import RayBatch
 from repro.trace.counters import TraversalStats
 from repro.trace.traversal import occlusion_any_hit_tri
+from repro.trace.wavefront import (
+    resolve_engine,
+    wavefront_occlusion_tri_batch,
+    wavefront_verify_batch,
+)
 
 #: Ray-buffer capacity of the baseline RT unit (8 warps x 32 threads).
 DEFAULT_IN_FLIGHT = 256
@@ -147,6 +152,7 @@ def simulate_predictor(
     in_flight: int = DEFAULT_IN_FLIGHT,
     keep_outcomes: bool = False,
     predictor: Optional[RayPredictor] = None,
+    engine: str = "scalar",
 ) -> SimulationResult:
     """Run the functional predictor simulation over ``rays`` in order.
 
@@ -160,6 +166,13 @@ def simulate_predictor(
             (needed by the repacking analysis and some tests).
         predictor: reuse an existing (already warmed) predictor instead
             of building a fresh one - used by the multi-SM experiment.
+        engine: ``"scalar"`` (reference, default - per-ray traversal in
+            exact paper order) or ``"wavefront"`` (vectorized - each
+            window's verifications and fallback traversals run as
+            batches).  Correctness (per-ray occlusion) is identical;
+            traversal-order-dependent statistics such as which triangle
+            trained the table, and therefore downstream predicted /
+            verified rates, may differ slightly between engines.
 
     Returns:
         A :class:`SimulationResult`; baseline counters come from full
@@ -167,8 +180,14 @@ def simulate_predictor(
     """
     if in_flight < 1:
         raise ValueError("in_flight must be >= 1")
+    resolve_engine(engine)
     pred = predictor if predictor is not None else RayPredictor(bvh, config)
     hashes = pred.hash_batch(rays.origins, rays.directions)
+
+    if engine == "wavefront":
+        return _simulate_wavefront(
+            bvh, rays, pred, hashes, in_flight, keep_outcomes
+        )
 
     outcomes: List[PredictionOutcome] = []
     baseline_nodes = 0
@@ -239,6 +258,23 @@ def simulate_predictor(
         for ray_hash, hit_tri in pending:
             pred.train(ray_hash, hit_tri)
 
+    return _finalize_result(
+        outcomes, baseline_nodes, baseline_tris, mis_nodes, mis_tris,
+        guard_fallbacks, keep_outcomes,
+    )
+
+
+def _finalize_result(
+    outcomes: List[PredictionOutcome],
+    baseline_nodes: int,
+    baseline_tris: int,
+    mis_nodes: int,
+    mis_tris: int,
+    guard_fallbacks: int,
+    keep_outcomes: bool,
+) -> SimulationResult:
+    """Aggregate per-ray outcomes into a :class:`SimulationResult`."""
+    n = len(outcomes)
     predicted = sum(1 for o in outcomes if o.predicted)
     verified = sum(1 for o in outcomes if o.verified)
     hits = sum(1 for o in outcomes if o.hit)
@@ -259,4 +295,112 @@ def simulate_predictor(
         table_updates=hits,
         outcomes=outcomes if keep_outcomes else None,
         guard_fallbacks=guard_fallbacks,
+    )
+
+
+def _simulate_wavefront(
+    bvh: FlatBVH,
+    rays: RayBatch,
+    pred: RayPredictor,
+    hashes: np.ndarray,
+    in_flight: int,
+    keep_outcomes: bool,
+) -> SimulationResult:
+    """Wavefront form of the functional simulation.
+
+    Each ``in_flight`` window becomes three batched traversals instead of
+    up to ``3 x in_flight`` scalar ones:
+
+    1. a verification wavefront seeded with every predicted ray's own
+       entry nodes (:func:`wavefront_verify_batch` - rays predicted to
+       the same node share one active list);
+    2. a full-traversal wavefront for the rays that were not verified
+       (mispredictions and unpredicted rays);
+    3. a baseline wavefront for the verified rays, whose full traversal
+       never ran but whose cost the baseline bookkeeping needs.
+
+    Table semantics are unchanged: lookups see the window-start state and
+    updates commit when the window drains.  Within a window the batched
+    path performs all lookups before any policy feedback (``confirm``),
+    whereas the scalar path interleaves them per ray - correctness is
+    unaffected, but replacement-policy state (and therefore downstream
+    prediction rates) can diverge slightly between engines.
+    """
+    outcomes: List[PredictionOutcome] = []
+    baseline_nodes = 0
+    baseline_tris = 0
+    mis_nodes = 0
+    mis_tris = 0
+    guard_fallbacks = 0
+
+    n = len(rays)
+    for start in range(0, n, in_flight):
+        stop = min(start + in_flight, n)
+        m = stop - start
+        sub = rays.subset(np.arange(start, stop))
+        window = [PredictionOutcome() for _ in range(m)]
+
+        preds: List[Optional[List[int]]] = []
+        for j in range(m):
+            nodes = pred.predict(int(hashes[start + j]))
+            if nodes:
+                window[j].predicted = True
+                window[j].predicted_nodes = len(nodes)
+                preds.append(nodes)
+            else:
+                preds.append(None)
+
+        ver_tri, ver_counts, guard_mask = wavefront_verify_batch(bvh, sub, preds)
+        guard_fallbacks += int(np.count_nonzero(guard_mask))
+        verified = ver_tri >= 0
+        hit_tri = np.full(m, -1, dtype=np.int64)
+        hit_tri[verified] = ver_tri[verified]
+        for j in range(m):
+            if window[j].predicted:
+                window[j].verify_node_fetches = int(ver_counts.node_fetches[j])
+                window[j].verify_tri_fetches = int(ver_counts.tri_fetches[j])
+        for j in np.nonzero(verified)[0]:
+            window[j].verified = True
+            # Policy feedback: this stored node was useful.
+            pred.confirm(int(hashes[start + j]), pred.trained_node_for(int(ver_tri[j])))
+
+        # Full traversal for every unverified ray (misprediction restart
+        # or no prediction), as one wavefront.
+        unverified = np.nonzero(~verified)[0]
+        if unverified.size:
+            full_tri, full_counts = wavefront_occlusion_tri_batch(
+                bvh, sub.subset(unverified), per_ray=True
+            )
+            hit_tri[unverified] = full_tri
+            for k, j in enumerate(unverified):
+                window[j].full_node_fetches = int(full_counts.node_fetches[k])
+                window[j].full_tri_fetches = int(full_counts.tri_fetches[k])
+                if window[j].predicted:
+                    mis_nodes += window[j].verify_node_fetches
+                    mis_tris += window[j].verify_tri_fetches
+            baseline_nodes += int(full_counts.node_fetches.sum())
+            baseline_tris += int(full_counts.tri_fetches.sum())
+
+        # Baseline bookkeeping for verified rays: their full traversal
+        # never ran, so measure it separately (oracle-free baseline).
+        verified_idx = np.nonzero(verified)[0]
+        if verified_idx.size:
+            _, base_counts = wavefront_occlusion_tri_batch(
+                bvh, sub.subset(verified_idx), per_ray=True
+            )
+            baseline_nodes += int(base_counts.node_fetches.sum())
+            baseline_tris += int(base_counts.tri_fetches.sum())
+
+        for j in range(m):
+            window[j].hit = bool(hit_tri[j] >= 0)
+        outcomes.extend(window)
+
+        # Updates from this window commit only after the window drains.
+        for j in range(m):
+            if hit_tri[j] >= 0:
+                pred.train(int(hashes[start + j]), int(hit_tri[j]))
+
+    return _finalize_result(
+        outcomes, baseline_nodes, baseline_tris, mis_nodes, mis_tris,
+        guard_fallbacks, keep_outcomes,
     )

@@ -13,8 +13,8 @@ At the paper's best configuration - 1024 entries, 4-way, 1 node/entry,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.hashing import fold_hash
 from repro.core.policies import NodeReplacementPolicy, make_node_policy

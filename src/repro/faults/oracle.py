@@ -27,7 +27,8 @@ from repro.core.simulate import DEFAULT_IN_FLIGHT, simulate_predictor
 from repro.errors import OracleMismatchError
 from repro.faults.injector import FaultConfig, FaultInjector, FaultyPredictor
 from repro.geometry.ray import RayBatch, validate_ray_batch
-from repro.trace.traversal import occlusion_any_hit
+from repro.trace.traversal import trace_occlusion_batch
+from repro.trace.wavefront import resolve_engine
 
 
 @dataclass
@@ -90,6 +91,7 @@ def run_differential_oracle(
     in_flight: int = DEFAULT_IN_FLIGHT,
     perturb_rays: bool = False,
     scene: str = "?",
+    engine: str = "scalar",
 ) -> DifferentialReport:
     """Compare baseline vs. predictor-under-injected-faults occlusion.
 
@@ -104,11 +106,16 @@ def run_differential_oracle(
             ray perturbation and the input-validation filter first
             (exercises the full input boundary, not just the table).
         scene: label used in the report.
+        engine: traversal engine for both the baseline batch and the
+            predictor simulation (``"scalar"`` or ``"wavefront"``).  The
+            oracle's contract is engine-independent: corrupted
+            speculation must never change per-ray occlusion under either.
 
     Returns:
         A :class:`DifferentialReport`; check ``report.ok`` or call
         ``report.raise_on_mismatch()``.
     """
+    resolve_engine(engine)
     fault_config = fault_config or FaultConfig()
     injector = FaultInjector(fault_config, num_nodes=bvh.num_nodes)
 
@@ -119,13 +126,14 @@ def run_differential_oracle(
         rays_filtered = screening.num_invalid
 
     # Baseline: per-ray occlusion by plain full traversal.
-    baseline = np.array([occlusion_any_hit(bvh, ray) for ray in rays], dtype=bool)
+    baseline = trace_occlusion_batch(bvh, rays, engine=engine)
 
     # Predictor under fault injection, same rays, same order.
     predictor = RayPredictor(bvh, config)
     faulty = FaultyPredictor(predictor, injector)
     result = simulate_predictor(
-        bvh, rays, predictor=faulty, in_flight=in_flight, keep_outcomes=True
+        bvh, rays, predictor=faulty, in_flight=in_flight, keep_outcomes=True,
+        engine=engine,
     )
     under_faults = np.array([o.hit for o in result.outcomes], dtype=bool)
 

@@ -147,20 +147,46 @@ def ray_triangle_intersect_batch(
     """Vectorized Moeller-Trumbore test of ``n`` rays against one triangle each.
 
     Returns a float array of hit parameters with ``np.inf`` for misses.
-    """
-    e1 = v1 - v0
-    e2 = v2 - v0
-    p = np.cross(directions, e2)
-    det = np.einsum("...i,...i->...", e1, p)
-    near_zero = np.abs(det) < _EPS
-    safe_det = np.where(near_zero, 1.0, det)
-    inv_det = 1.0 / safe_det
 
-    tvec = origins - v0
-    u = np.einsum("...i,...i->...", tvec, p) * inv_det
-    q = np.cross(tvec, e1)
-    v = np.einsum("...i,...i->...", directions, q) * inv_det
-    t = np.einsum("...i,...i->...", e2, q) * inv_det
+    The arithmetic is spelled out component by component in exactly the
+    evaluation order of the scalar :func:`ray_triangle_intersect`, so the
+    two kernels produce bit-identical ``t`` values - the contract the
+    wavefront engine's differential tests rely on.  (``np.cross`` /
+    ``einsum`` reductions may associate sums differently and drift by an
+    ulp.)
+    """
+    v0 = np.asarray(v0, dtype=np.float64)
+    v1 = np.asarray(v1, dtype=np.float64)
+    v2 = np.asarray(v2, dtype=np.float64)
+    ox, oy, oz = origins[..., 0], origins[..., 1], origins[..., 2]
+    dx, dy, dz = directions[..., 0], directions[..., 1], directions[..., 2]
+    e1x = v1[..., 0] - v0[..., 0]
+    e1y = v1[..., 1] - v0[..., 1]
+    e1z = v1[..., 2] - v0[..., 2]
+    e2x = v2[..., 0] - v0[..., 0]
+    e2y = v2[..., 1] - v0[..., 1]
+    e2z = v2[..., 2] - v0[..., 2]
+
+    # p = d x e2
+    px = dy * e2z - dz * e2y
+    py = dz * e2x - dx * e2z
+    pz = dx * e2y - dy * e2x
+
+    det = e1x * px + e1y * py + e1z * pz
+    near_zero = np.abs(det) < _EPS
+    inv_det = 1.0 / np.where(near_zero, 1.0, det)
+
+    tx = ox - v0[..., 0]
+    ty = oy - v0[..., 1]
+    tz = oz - v0[..., 2]
+    u = (tx * px + ty * py + tz * pz) * inv_det
+
+    # q = t x e1
+    qx = ty * e1z - tz * e1y
+    qy = tz * e1x - tx * e1z
+    qz = tx * e1y - ty * e1x
+    v = (dx * qx + dy * qy + dz * qz) * inv_det
+    t = (e2x * qx + e2y * qy + e2z * qz) * inv_det
 
     hit = (
         ~near_zero

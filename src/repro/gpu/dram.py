@@ -9,7 +9,7 @@ spreading accesses across banks and raising bank-level parallelism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.gpu.config import DRAMConfig

@@ -14,13 +14,17 @@ from repro.bvh.nodes import FlatBVH
 from repro.geometry.ray import RayBatch
 from repro.rays.camera import PinholeCamera
 from repro.scenes.scene import Scene
-from repro.trace.traversal import trace_closest_batch
+from repro.trace.traversal import DEFAULT_ENGINE, trace_closest_batch
 
 _SURFACE_EPSILON = 1e-4
 
 
 def generate_reflection_rays(
-    scene: Scene, bvh: FlatBVH, width: int = 64, height: int = 64
+    scene: Scene,
+    bvh: FlatBVH,
+    width: int = 64,
+    height: int = 64,
+    engine: str = DEFAULT_ENGINE,
 ) -> RayBatch:
     """One specular reflection ray per primary-hit pixel.
 
@@ -29,7 +33,7 @@ def generate_reflection_rays(
     """
     camera = PinholeCamera(scene.camera, width, height)
     primary = camera.primary_rays()
-    ts, tris = trace_closest_batch(bvh, primary)
+    ts, tris = trace_closest_batch(bvh, primary, engine=engine)
     hit_idx = np.nonzero(tris >= 0)[0]
     if hit_idx.size == 0:
         return RayBatch(np.zeros((0, 3)), np.zeros((0, 3)))

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geometry.aabb import AABB
 from repro.geometry.triangle import TriangleMesh

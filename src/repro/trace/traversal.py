@@ -347,30 +347,73 @@ def occlusion_all_hit_leaves(bvh: FlatBVH, ray: Ray) -> Set[int]:
     return leaves
 
 
+#: Engine used by the batch entry points when none is requested.  The
+#: wavefront engine is bit-identical on hit results (see
+#: :mod:`repro.trace.wavefront`) and an order of magnitude faster, so it
+#: is the default; pass ``engine="scalar"`` to force the reference loop.
+DEFAULT_ENGINE = "wavefront"
+
+
+def _materialize_rays(rays: RayBatch | Iterable[Ray]) -> Sequence[Ray] | RayBatch:
+    """A sized, indexable view of ``rays`` for the scalar per-ray loop."""
+    if isinstance(rays, (RayBatch, list, tuple)):
+        return rays
+    return list(rays)
+
+
 def trace_occlusion_batch(
-    bvh: FlatBVH, rays: RayBatch | Iterable[Ray], stats: Optional[TraversalStats] = None
+    bvh: FlatBVH,
+    rays: RayBatch | Iterable[Ray],
+    stats: Optional[TraversalStats] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> np.ndarray:
-    """Trace a batch of occlusion rays; returns a boolean hit array."""
+    """Trace a batch of occlusion rays; returns a boolean hit array.
+
+    Args:
+        bvh: the acceleration structure.
+        rays: a :class:`RayBatch` (consumed directly, without
+            materializing per-ray :class:`Ray` objects, when the
+            wavefront engine is selected) or any iterable of rays.
+        stats: counters to accumulate into.
+        engine: ``"wavefront"`` (vectorized, default) or ``"scalar"``
+            (the reference per-ray loop).  Hit results are bit-identical.
+    """
+    from repro.trace.wavefront import resolve_engine, wavefront_occlusion_batch
+
     if stats is None:
         stats = TraversalStats()
-    hits = [occlusion_any_hit(bvh, ray, stats=stats) for ray in rays]
-    return np.asarray(hits, dtype=bool)
+    if resolve_engine(engine) == "wavefront":
+        return wavefront_occlusion_batch(bvh, rays, stats=stats)
+    batch = _materialize_rays(rays)
+    hits = np.empty(len(batch), dtype=bool)
+    for i, ray in enumerate(batch):
+        hits[i] = occlusion_any_hit(bvh, ray, stats=stats)
+    return hits
 
 
 def trace_closest_batch(
-    bvh: FlatBVH, rays: RayBatch | Iterable[Ray], stats: Optional[TraversalStats] = None
+    bvh: FlatBVH,
+    rays: RayBatch | Iterable[Ray],
+    stats: Optional[TraversalStats] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Trace a batch of closest-hit rays.
+
+    Args:
+        engine: ``"wavefront"`` (vectorized, default) or ``"scalar"``.
 
     Returns:
         ``(t, tri)`` arrays; ``t`` is ``inf`` and ``tri`` is ``-1`` on miss.
     """
+    from repro.trace.wavefront import resolve_engine, wavefront_closest_batch
+
     if stats is None:
         stats = TraversalStats()
-    ts: List[float] = []
-    tris: List[int] = []
-    for ray in rays:
-        t, tri = closest_hit(bvh, ray, stats=stats)
-        ts.append(t)
-        tris.append(tri)
-    return np.asarray(ts), np.asarray(tris, dtype=np.int64)
+    if resolve_engine(engine) == "wavefront":
+        return wavefront_closest_batch(bvh, rays, stats=stats)
+    batch = _materialize_rays(rays)
+    ts = np.empty(len(batch), dtype=np.float64)
+    tris = np.empty(len(batch), dtype=np.int64)
+    for i, ray in enumerate(batch):
+        ts[i], tris[i] = closest_hit(bvh, ray, stats=stats)
+    return ts, tris

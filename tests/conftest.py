@@ -6,22 +6,28 @@ shared objects (predictors and simulators take their own copies).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
-
-# Property tests run alongside heavy simulation tests; wall-clock
-# deadlines would make them flaky, so disable them suite-wide.
-settings.register_profile(
-    "repro", deadline=None, suppress_health_check=[HealthCheck.too_slow]
-)
-settings.load_profile("repro")
 
 from repro.bvh import build_bvh
 from repro.geometry.triangle import TriangleMesh
 from repro.rays import generate_ao_workload
 from repro.scenes import procedural as P
 from repro.scenes.scene import CameraSpec, Scene
+
+# Property tests run alongside heavy simulation tests; wall-clock
+# deadlines would make them flaky, so disable them suite-wide.  CI caps
+# the example budget via HYPOTHESIS_MAX_EXAMPLES (unset = library default).
+_profile_kwargs = dict(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+if os.environ.get("HYPOTHESIS_MAX_EXAMPLES"):
+    _profile_kwargs["max_examples"] = int(os.environ["HYPOTHESIS_MAX_EXAMPLES"])
+settings.register_profile("repro", **_profile_kwargs)
+settings.load_profile("repro")
 
 
 def make_test_scene(seed: int = 3) -> Scene:

@@ -1,14 +1,13 @@
 """Unit tests for the tournament (multi-hash) predictor extension."""
 
-import numpy as np
 import pytest
 
 from repro.core import PredictorConfig
 from repro.core.adaptive import TournamentPredictor
 from repro.core.simulate import simulate_predictor
-from repro.gpu import GPUConfig, simulate_workload
-from repro.gpu.rt_unit import RTUnit
+from repro.gpu import GPUConfig
 from repro.gpu.memory import MemoryHierarchy
+from repro.gpu.rt_unit import RTUnit
 from repro.trace import trace_occlusion_batch
 
 PC = PredictorConfig(origin_bits=3, direction_bits=2, go_up_level=2)

@@ -1,6 +1,5 @@
 """Unit tests for the analysis utilities and experiment context."""
 
-import math
 
 import pytest
 

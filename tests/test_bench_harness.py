@@ -1,0 +1,157 @@
+"""Benchmark harness tests: artifact schema, I/O, and the regression gate."""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    QUICK_PRESET,
+    BenchPreset,
+    compare_payloads,
+    load_payload,
+    run_benchmarks,
+    write_payload,
+)
+from repro.bench.harness import check_against_baselines, summarize
+
+#: One tiny scene, tiny image: keeps the end-to-end test fast while still
+#: exercising every benchmark and both engines.
+TEST_PRESET = BenchPreset(
+    name="testrun",
+    scenes=("SB",),
+    width=6,
+    height=6,
+    spp=1,
+    seed=1,
+    detail=0.25,
+    sim_rays=32,
+    repeats=1,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_benchmarks(TEST_PRESET)
+
+
+class TestArtifact:
+    def test_schema_and_shape(self, payload):
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["name"] == "testrun"
+        assert payload["scenes"] == ["SB"]
+        # 3 benchmarks x 1 scene x 2 engines.
+        assert len(payload["results"]) == 6
+        for record in payload["results"]:
+            assert record["engine"] in ("scalar", "wavefront")
+            assert record["rays"] > 0
+            assert record["wall_time_s"] >= 0
+            assert record["node_fetches"] >= 0
+
+    def test_speedups_derived_for_all_benchmarks(self, payload):
+        speed = payload["derived"]["speedup_wavefront_over_scalar"]
+        assert set(speed) == {"occlusion_trace", "closest_trace", "predictor_sim"}
+        for per_scene in speed.values():
+            assert set(per_scene) == {"SB"}
+            assert per_scene["SB"] > 0
+
+    def test_counters_deterministic_across_runs(self, payload):
+        def key(r):
+            return (r["benchmark"], r["scene"], r["engine"])
+
+        second = run_benchmarks(TEST_PRESET)
+        first = {key(r): r for r in payload["results"]}
+        for record in second["results"]:
+            base = first[key(record)]
+            assert record["node_fetches"] == base["node_fetches"]
+            assert record["tri_fetches"] == base["tri_fetches"]
+
+    def test_json_round_trip(self, payload, tmp_path):
+        path = write_payload(payload, str(tmp_path))
+        assert path.endswith("BENCH_testrun.json")
+        assert load_payload(path) == json.loads(json.dumps(payload))
+
+    def test_load_rejects_foreign_schema(self, payload, tmp_path):
+        bad = dict(payload, schema="other/9")
+        path = write_payload(bad, str(tmp_path))
+        with pytest.raises(ValueError, match="unsupported benchmark schema"):
+            load_payload(path)
+
+    def test_summarize_mentions_speedups(self, payload):
+        text = summarize(payload)
+        assert "occlusion_trace" in text
+        assert "testrun" in text
+
+
+class TestRegressionGate:
+    def test_identical_payloads_pass(self, payload):
+        assert compare_payloads(payload, payload) == []
+
+    def test_speedup_regression_fails(self, payload):
+        current = copy.deepcopy(payload)
+        speed = current["derived"]["speedup_wavefront_over_scalar"]
+        speed["occlusion_trace"]["SB"] = (
+            payload["derived"]["speedup_wavefront_over_scalar"]["occlusion_trace"]["SB"]
+            * 0.5
+        )
+        problems = compare_payloads(current, payload, tolerance=0.2)
+        assert any("speedup regressed" in p for p in problems)
+
+    def test_small_drift_within_tolerance_passes(self, payload):
+        current = copy.deepcopy(payload)
+        speed = current["derived"]["speedup_wavefront_over_scalar"]
+        speed["closest_trace"]["SB"] *= 0.95
+        assert compare_payloads(current, payload, tolerance=0.2) == []
+
+    def test_counter_drift_fails(self, payload):
+        current = copy.deepcopy(payload)
+        current["results"][0]["node_fetches"] = (
+            payload["results"][0]["node_fetches"] * 2 + 100
+        )
+        problems = compare_payloads(current, payload, tolerance=0.2)
+        assert any("drifted" in p for p in problems)
+
+    def test_missing_record_fails(self, payload):
+        current = copy.deepcopy(payload)
+        current["results"] = current["results"][1:]
+        problems = compare_payloads(current, payload)
+        assert any("missing" in p for p in problems)
+
+    def test_missing_baseline_reported(self, payload, tmp_path):
+        problems = check_against_baselines(payload, str(tmp_path))
+        assert problems and "no committed baseline" in problems[0]
+
+    def test_check_against_committed_baseline_dir(self, payload, tmp_path):
+        write_payload(payload, str(tmp_path))
+        assert check_against_baselines(payload, str(tmp_path)) == []
+
+
+BASELINE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "baselines",
+)
+
+
+class TestCommittedBaselines:
+    """The artifacts CI gates on must stay loadable and well-formed."""
+
+    @pytest.mark.parametrize("name", ["quick", "wavefront"])
+    def test_baseline_loads(self, name):
+        payload = load_payload(os.path.join(BASELINE_DIR, f"BENCH_{name}.json"))
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["results"]
+
+    def test_quick_baseline_matches_preset(self):
+        payload = load_payload(os.path.join(BASELINE_DIR, "BENCH_quick.json"))
+        assert payload["preset"]["scenes"] == list(QUICK_PRESET.scenes)
+        assert payload["preset"]["seed"] == QUICK_PRESET.seed
+
+    def test_full_baseline_meets_paper_target(self):
+        # ISSUE acceptance criterion: >=5x rays/sec over the scalar
+        # engine for batch occlusion tracing on the SP scene.
+        payload = load_payload(os.path.join(BASELINE_DIR, "BENCH_wavefront.json"))
+        speed = payload["derived"]["speedup_wavefront_over_scalar"]
+        assert speed["occlusion_trace"]["SP"] >= 5.0

@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.bvh import (
-    BinnedSAHBuilder,
-    LBVHBuilder,
     MedianSplitBuilder,
     build_bvh,
     compute_stats,

@@ -1,0 +1,85 @@
+"""The CI workflow stays in sync with what the repo actually provides.
+
+These tests pin the contract between ``.github/workflows/ci.yml`` and
+the codebase: job names, the tested Python range, and the benchmark
+gate invocation.  They parse the YAML with PyYAML when it is available
+and fall back to structural text checks otherwise, so the suite runs in
+environments without it.
+"""
+
+import os
+
+import pytest
+
+try:
+    import yaml
+except ImportError:  # pragma: no cover - PyYAML is present in dev envs
+    yaml = None
+
+WORKFLOW = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    ".github",
+    "workflows",
+    "ci.yml",
+)
+
+
+@pytest.fixture(scope="module")
+def workflow_text():
+    with open(WORKFLOW, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+@pytest.fixture(scope="module")
+def workflow(workflow_text):
+    if yaml is None:
+        pytest.skip("PyYAML not installed")
+    return yaml.safe_load(workflow_text)
+
+
+class TestWorkflowStructure:
+    def test_parses_and_has_expected_jobs(self, workflow):
+        assert set(workflow["jobs"]) == {"test", "lint", "benchmark-smoke"}
+
+    def test_python_matrix_spans_supported_range(self, workflow):
+        versions = workflow["jobs"]["test"]["strategy"]["matrix"]["python-version"]
+        # pyproject declares requires-python >= 3.9; CI must cover both
+        # ends of the supported range.
+        assert "3.9" in versions
+        assert any(v.startswith("3.1") for v in versions)
+
+    def test_triggers_on_push_and_pr(self, workflow):
+        # PyYAML 1.1 parses the bare `on:` key as boolean True.
+        triggers = workflow.get("on", workflow.get(True))
+        assert "pull_request" in triggers
+        assert triggers["push"]["branches"] == ["main"]
+
+    def test_hypothesis_examples_capped(self, workflow):
+        assert "HYPOTHESIS_MAX_EXAMPLES" in workflow.get("env", {})
+
+
+class TestBenchmarkGate:
+    def test_smoke_job_runs_quick_check(self, workflow):
+        runs = [
+            step.get("run", "")
+            for step in workflow["jobs"]["benchmark-smoke"]["steps"]
+        ]
+        assert any("repro bench --quick --check" in r for r in runs)
+
+    def test_lint_job_uses_ruff(self, workflow):
+        runs = [
+            step.get("run", "") for step in workflow["jobs"]["lint"]["steps"]
+        ]
+        assert any(r.strip().startswith("ruff check") for r in runs)
+
+    def test_committed_baseline_exists_for_gate(self):
+        # The --check invocation is meaningless without the artifact it
+        # compares against.
+        baseline = os.path.join(
+            os.path.dirname(WORKFLOW), "..", "..",
+            "benchmarks", "baselines", "BENCH_quick.json",
+        )
+        assert os.path.exists(baseline)
+
+    def test_text_mentions_tier1_invocation(self, workflow_text):
+        assert "python -m pytest -x -q" in workflow_text

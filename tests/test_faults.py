@@ -14,7 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bvh import build_bvh
-from repro.core import PredictorConfig, RayPredictor, simulate_predictor
+from repro.core import PredictorConfig, RayPredictor
 from repro.core.table import PredictorTable
 from repro.errors import (
     EXIT_ORACLE,

@@ -17,7 +17,6 @@ from repro.core import (
 )
 from repro.energy import EnergyModel
 from repro.gpu import GPUConfig, simulate_workload
-from repro.rays import morton_sort_rays
 from repro.render import render_ao, write_ppm
 
 PC = PredictorConfig(

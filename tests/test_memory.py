@@ -1,6 +1,5 @@
 """Unit tests for the memory hierarchy composition (L1 -> L2 -> DRAM)."""
 
-import pytest
 
 from repro.gpu.cache import Cache
 from repro.gpu.config import CacheConfig, DRAMConfig, MemoryConfig

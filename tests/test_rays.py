@@ -1,6 +1,5 @@
 """Unit tests for cameras, sampling, AO workload generation and sorting."""
 
-import math
 
 import numpy as np
 import pytest

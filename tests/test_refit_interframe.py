@@ -5,7 +5,6 @@ import pytest
 
 from repro.bvh import build_bvh, jitter_mesh, refit_bvh, validate_bvh
 from repro.core import PredictorConfig, RayPredictor
-from repro.geometry.triangle import TriangleMesh
 from repro.gpu import GPUConfig, simulate_workload
 from repro.gpu.simulator import make_predictors
 from repro.trace import occlusion_any_hit, trace_occlusion_batch

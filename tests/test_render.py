@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import PredictorConfig
+from repro.geometry.ray import Ray
 from repro.render import (
     PredictedClosestHitTracer,
     render_ao,
@@ -11,8 +12,7 @@ from repro.render import (
     tonemap,
     write_ppm,
 )
-from repro.trace import TraversalStats, closest_hit
-from repro.geometry.ray import Ray
+from repro.trace import closest_hit
 
 PC = PredictorConfig(origin_bits=3, direction_bits=2, go_up_level=2)
 

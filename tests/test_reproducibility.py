@@ -1,12 +1,11 @@
 """Reproducibility guarantees: the benchmark pipeline is deterministic."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.experiments import ExperimentContext, WorkloadParams
-from repro.trace import TraversalStats, occlusion_any_hit
 from repro.gpu.cache import Cache
 from repro.gpu.config import CacheConfig
+from repro.trace import TraversalStats, occlusion_any_hit
 
 PARAMS = WorkloadParams(width=12, height=12, spp=1, seed=4, detail=0.3)
 

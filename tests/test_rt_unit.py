@@ -1,6 +1,5 @@
 """Unit tests for the RT-unit timing model and top-level simulator."""
 
-import numpy as np
 import pytest
 
 from repro.core import PredictorConfig
@@ -42,8 +41,15 @@ class TestFunctionalEquivalence:
         assert with_repack.rays == without.rays
 
     def test_baseline_node_fetches_match_reference(self, small_bvh, small_workload):
+        # The RT unit pops per-ray stacks in scalar order, so its traffic
+        # matches the scalar engine exactly; the wavefront engine visits
+        # nodes in a different order and retires any-hit rays at
+        # different points, so only hit *results* (not fetch counts) are
+        # comparable against it.
         stats = TraversalStats()
-        trace_occlusion_batch(small_bvh, small_workload.rays, stats=stats)
+        trace_occlusion_batch(
+            small_bvh, small_workload.rays, stats=stats, engine="scalar"
+        )
         result = run_unit(small_bvh, small_workload.rays)
         assert result.node_fetches == stats.node_fetches
         assert result.tri_fetches == stats.tri_fetches

@@ -1,7 +1,6 @@
 """Unit tests for the restart-trail stackless traversal."""
 
 import numpy as np
-import pytest
 
 from repro.bvh import build_bvh
 from repro.geometry.ray import Ray

@@ -7,7 +7,6 @@ triangles - the ground truth the BVH must never disagree with.
 import math
 
 import numpy as np
-import pytest
 
 from repro.bvh import build_bvh
 from repro.geometry.intersect import ray_triangle_intersect

@@ -16,7 +16,10 @@ substrate it depends on, in pure Python:
   proves speculation never changes occlusion results;
 * :mod:`repro.energy` - the Table 4 energy model;
 * :mod:`repro.render` - AO renderer and the Section 6.4 GI extension;
-* :mod:`repro.analysis` - experiment drivers for every table and figure.
+* :mod:`repro.analysis` - experiment drivers for every table and figure;
+* :mod:`repro.telemetry` - metrics registry, event tracer, and
+  profiling hooks behind ``repro telemetry`` / ``REPRO_TELEMETRY=1``
+  (see ``docs/OBSERVABILITY.md``).
 
 Quickstart::
 
@@ -65,6 +68,12 @@ from repro.gpu import GPUConfig, simulate_workload
 from repro.rays import generate_ao_workload, morton_sort_rays
 from repro.render import render_ao, render_gi
 from repro.scenes import get_scene
+from repro.telemetry import (
+    enabled as telemetry_enabled,
+    get_registry,
+    get_tracer,
+    label_context,
+)
 from repro.trace import occlusion_any_hit, closest_hit
 
 __version__ = "1.0.0"
@@ -105,7 +114,11 @@ __all__ = [
     "simulate_predictor",
     "simulate_workload",
     "exit_code_for",
+    "get_registry",
+    "get_tracer",
+    "label_context",
     "run_differential_oracle",
+    "telemetry_enabled",
     "validate_bvh",
     "validate_ray_batch",
     "__version__",

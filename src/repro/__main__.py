@@ -6,7 +6,12 @@ Commands:
     limit SCENE       run the Figure 2 limit study on a scene
     faults SCENE      differential fault-injection oracle for a scene
     bench             scalar-vs-wavefront timing, BENCH_*.json artifacts
+    telemetry         instrumented run, telemetry.json + summary
     report            stitch results/*.txt into a single REPORT.md
+
+The global ``--telemetry`` flag (or ``REPRO_TELEMETRY=1``) switches on
+metric/span collection for any command; the ``telemetry`` subcommand
+always collects and writes the artifact (see docs/OBSERVABILITY.md).
 
 The CLI is a thin veneer over the library; the benchmark harness under
 ``benchmarks/`` regenerates the paper's full tables and figures.
@@ -22,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import telemetry
 from repro.analysis.experiments import (
     scaled_gpu_config,
     scaled_predictor_config,
@@ -143,6 +149,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry.runner import (
+        TelemetryPreset,
+        run_telemetry_workload,
+        summarize_telemetry,
+        write_telemetry,
+    )
+    from repro.telemetry.schema import validate_telemetry
+
+    preset = TelemetryPreset(
+        scene=args.scene,
+        detail=args.detail,
+        width=args.size,
+        height=args.size,
+        spp=args.spp,
+        sim_rays=args.rays,
+        rt_rays=args.rays,
+        engine=args.engine,
+    )
+    if args.quick:
+        preset = preset.scaled_for_quick()
+    payload = run_telemetry_workload(preset, profile=args.profile)
+    print(summarize_telemetry(payload))
+    path = write_telemetry(payload, args.out)
+    print(f"wrote {path}")
+    if args.trace_out:
+        events = payload["trace_events"]
+        import json
+        import os
+
+        directory = os.path.dirname(args.trace_out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump({"traceEvents": events}, handle)
+            handle.write("\n")
+        print(f"wrote {args.trace_out} (open in chrome://tracing or Perfetto)")
+    if args.check:
+        problems = validate_telemetry(payload)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        print("telemetry artifact valid (schema "
+              f"{payload['schema']})")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import write_report
 
@@ -156,6 +210,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--detail", type=float, default=1.0,
                         help="scene triangle-budget multiplier")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect metrics/spans during the command "
+                        "(same as REPRO_TELEMETRY=1)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("scenes", help="list benchmark scenes")
@@ -210,18 +267,53 @@ def main(argv: list[str] | None = None) -> int:
                        help="fail (exit 1) on >tolerance regression vs baseline")
     bench.add_argument("--tolerance", type=float, default=0.2,
                        help="allowed relative regression (default 0.2)")
+    # SUPPRESS keeps the global --telemetry value when the per-command
+    # flag is absent (subparser defaults would otherwise clobber it).
+    bench.add_argument("--telemetry", action="store_true",
+                       default=argparse.SUPPRESS,
+                       help="collect metrics during the run and embed a "
+                       "telemetry section in the BENCH artifact")
+
+    tele = sub.add_parser(
+        "telemetry",
+        help="instrumented run: telemetry.json artifact + summary",
+        description="Run one scene through the instrumented pipeline with "
+        "telemetry enabled and write a repro-telemetry/1 JSON artifact "
+        "(metrics snapshot, span summaries, phase timings, Chrome trace).",
+    )
+    tele.add_argument("--scene", default="SP", help="scene code (default SP)")
+    tele.add_argument("--quick", action="store_true",
+                      help="CI smoke shape: 16x16, 256 rays")
+    tele.add_argument("--size", type=int, default=32)
+    tele.add_argument("--spp", type=int, default=2)
+    tele.add_argument("--rays", type=int, default=1024,
+                      help="rays for the predictor/RT-unit stages")
+    tele.add_argument("--engine", default="wavefront",
+                      help="traversal engine: scalar or wavefront")
+    tele.add_argument("--out", default="results/telemetry.json",
+                      help="artifact path")
+    tele.add_argument("--trace-out", default=None, dest="trace_out",
+                      help="also write a standalone Chrome trace JSON here")
+    tele.add_argument("--profile", action="store_true",
+                      help="attach the sampling profiler (adds overhead)")
+    tele.add_argument("--check", action="store_true",
+                      help="validate the artifact against the schema; "
+                      "exit 1 on problems")
 
     report = sub.add_parser("report", help="collect results/ into REPORT.md")
     report.add_argument("--results", default="results")
     report.add_argument("--output", default="REPORT.md")
 
     args = parser.parse_args(argv)
+    if args.telemetry:
+        telemetry.enable()
     handlers = {
         "scenes": _cmd_scenes,
         "quick": _cmd_quick,
         "limit": _cmd_limit,
         "faults": _cmd_faults,
         "bench": _cmd_bench,
+        "telemetry": _cmd_telemetry,
         "report": _cmd_report,
     }
     try:

@@ -10,6 +10,7 @@ a >20 % regression against the committed baselines (see
 """
 
 from repro.bench.harness import (
+    ACCEPTED_SCHEMAS,
     BENCH_SCHEMA,
     FULL_PRESET,
     QUICK_PRESET,
@@ -22,6 +23,7 @@ from repro.bench.harness import (
 )
 
 __all__ = [
+    "ACCEPTED_SCHEMAS",
     "BENCH_SCHEMA",
     "FULL_PRESET",
     "QUICK_PRESET",

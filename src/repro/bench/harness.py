@@ -9,10 +9,14 @@ pinned-seed workloads:
 * ``predictor_sim``   - the functional predictor simulation
   (:func:`repro.core.simulate.simulate_predictor`) over a capped prefix.
 
-The JSON artifact (schema ``repro-bench/1``, documented in
-``docs/BENCHMARKING.md``) records wall time, rays/second, and the
-deterministic traversal counters, plus derived wavefront-over-scalar
-speedups.  Regression checking intentionally gates on *machine
+The JSON artifact (schema ``repro-bench/2``, documented in
+``docs/BENCHMARKING.md``; ``repro-bench/1`` artifacts are still read)
+records wall time, rays/second, and the deterministic traversal
+counters, plus derived wavefront-over-scalar speedups.  When telemetry
+is switched on (``repro --telemetry bench`` or ``REPRO_TELEMETRY=1``)
+the artifact gains a ``telemetry`` section: the labeled metrics
+snapshot and per-stage span summaries collected during the timed runs
+(see ``docs/OBSERVABILITY.md``).  Regression checking intentionally gates on *machine
 independent* quantities - the speedup ratios (both engines time on the
 same host, so the ratio transfers) and the traversal counters (exact
 functions of seed + scene) - because absolute rays/second differs
@@ -29,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.bvh import build_bvh
 from repro.core.simulate import simulate_predictor
 from repro.rays import generate_ao_workload
@@ -37,7 +42,13 @@ from repro.trace import TraversalStats, trace_closest_batch, trace_occlusion_bat
 from repro.trace.wavefront import ENGINES
 
 #: Artifact schema identifier; bump on incompatible layout changes.
-BENCH_SCHEMA = "repro-bench/1"
+#: 2 added the optional ``telemetry`` section (additive - version 1
+#: artifacts remain readable, see :data:`ACCEPTED_SCHEMAS`).
+BENCH_SCHEMA = "repro-bench/2"
+
+#: Schema tags :func:`load_payload` accepts.  Baselines written before
+#: the telemetry section existed stay valid.
+ACCEPTED_SCHEMAS = ("repro-bench/1", "repro-bench/2")
 
 #: Benchmarks gated by the regression check, in artifact order.
 BENCHMARKS = ("occlusion_trace", "closest_trace", "predictor_sim")
@@ -203,33 +214,36 @@ def run_benchmarks(
     records: List[BenchRecord] = []
     for code in scene_codes:
         say(f"[{code}] building scene + BVH (detail={preset.detail})")
-        scene = get_scene(code, detail=preset.detail)
-        bvh = build_bvh(scene.mesh)
-        workload = generate_ao_workload(
-            scene,
-            bvh,
-            width=preset.width,
-            height=preset.height,
-            spp=preset.spp,
-            seed=preset.seed,
-        )
-        rays = workload.rays
-        say(f"[{code}] {len(rays)} AO rays")
-        for benchmark in ("occlusion_trace", "closest_trace"):
+        with telemetry.label_context(scene=code):
+            scene = get_scene(code, detail=preset.detail)
+            bvh = build_bvh(scene.mesh)
+            workload = generate_ao_workload(
+                scene,
+                bvh,
+                width=preset.width,
+                height=preset.height,
+                spp=preset.spp,
+                seed=preset.seed,
+            )
+            rays = workload.rays
+            say(f"[{code}] {len(rays)} AO rays")
+            for benchmark in ("occlusion_trace", "closest_trace"):
+                for engine in engines:
+                    rec = _trace_record(
+                        benchmark, code, engine, bvh, rays, preset.repeats
+                    )
+                    records.append(rec)
+                    say(
+                        f"[{code}] {benchmark:16s} {engine:9s} "
+                        f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
+                    )
             for engine in engines:
-                rec = _trace_record(benchmark, code, engine, bvh, rays, preset.repeats)
+                rec = _sim_record(code, engine, bvh, rays, preset)
                 records.append(rec)
                 say(
-                    f"[{code}] {benchmark:16s} {engine:9s} "
+                    f"[{code}] {'predictor_sim':16s} {engine:9s} "
                     f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
                 )
-        for engine in engines:
-            rec = _sim_record(code, engine, bvh, rays, preset)
-            records.append(rec)
-            say(
-                f"[{code}] {'predictor_sim':16s} {engine:9s} "
-                f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
-            )
     return _build_payload(preset, scene_codes, records)
 
 
@@ -247,7 +261,7 @@ def _build_payload(
                 per_scene[code] = round(scalar.wall_time_s / wave.wall_time_s, 3)
         if per_scene:
             speedups[benchmark] = per_scene
-    return {
+    payload = {
         "schema": BENCH_SCHEMA,
         "name": preset.name,
         "preset": asdict(preset),
@@ -255,6 +269,16 @@ def _build_payload(
         "results": [asdict(r) for r in records],
         "derived": {"speedup_wavefront_over_scalar": speedups},
     }
+    if telemetry.enabled():
+        from repro.telemetry.tracing import summarize_spans
+
+        tracer = telemetry.get_tracer()
+        payload["telemetry"] = {
+            "metrics": telemetry.get_registry().snapshot(),
+            "spans": summarize_spans(tracer.events()),
+            "dropped_events": tracer.dropped,
+        }
+    return payload
 
 
 def write_payload(payload: dict, out_dir: str) -> str:
@@ -272,10 +296,10 @@ def load_payload(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     schema = payload.get("schema")
-    if schema != BENCH_SCHEMA:
+    if schema not in ACCEPTED_SCHEMAS:
         raise ValueError(
             f"{path}: unsupported benchmark schema {schema!r} "
-            f"(expected {BENCH_SCHEMA!r})"
+            f"(expected one of {', '.join(ACCEPTED_SCHEMAS)})"
         )
     return payload
 

@@ -275,16 +275,24 @@ def build_bvh(
         BVHValidationError: with ``validate=True``, if the built tree
             violates a structural invariant.
     """
-    if method == "sah":
-        bvh = BinnedSAHBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
-    elif method == "median":
-        bvh = MedianSplitBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
-    elif method == "lbvh":
-        from repro.bvh.lbvh import LBVHBuilder
+    from repro import telemetry
+    from repro.telemetry.publish import publish_bvh
 
-        bvh = LBVHBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
-    else:
-        raise ValueError(f"unknown BVH build method: {method!r}")
+    with telemetry.span(
+        "bvh.build", method=method, triangles=len(mesh)
+    ) as sp:
+        if method == "sah":
+            bvh = BinnedSAHBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
+        elif method == "median":
+            bvh = MedianSplitBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
+        elif method == "lbvh":
+            from repro.bvh.lbvh import LBVHBuilder
+
+            bvh = LBVHBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
+        else:
+            raise ValueError(f"unknown BVH build method: {method!r}")
+        sp.add(nodes=bvh.num_nodes)
+    publish_bvh(bvh, method=method)
     if validate:
         from repro.bvh.validate import validate_bvh
 

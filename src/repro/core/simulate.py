@@ -24,10 +24,12 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.bvh.nodes import FlatBVH
 from repro.core.predictor import PredictorConfig, RayPredictor
 from repro.errors import TraversalError
 from repro.geometry.ray import RayBatch
+from repro.telemetry.publish import FRACTION_BUCKETS, publish_simulation_result
 from repro.trace.counters import TraversalStats
 from repro.trace.traversal import occlusion_any_hit_tri
 from repro.trace.wavefront import (
@@ -200,67 +202,82 @@ def simulate_predictor(
     for start in range(0, n, in_flight):
         stop = min(start + in_flight, n)
         pending: List[Tuple[int, int]] = []
-        for i in range(start, stop):
-            ray = rays[i]
-            ray_hash = int(hashes[i])
-            outcome = PredictionOutcome()
-            nodes = pred.predict(ray_hash)
+        # The scalar reference interleaves lookup/verify/fallback per
+        # ray, so the span brackets the whole concurrency window; the
+        # wavefront engine breaks the same window into per-stage spans.
+        with telemetry.span(
+            "predictor.window", engine="scalar", rays=stop - start
+        ):
+            for i in range(start, stop):
+                ray = rays[i]
+                ray_hash = int(hashes[i])
+                outcome = PredictionOutcome()
+                nodes = pred.predict(ray_hash)
 
-            hit_tri = -1
-            if nodes:
-                outcome.predicted = True
-                outcome.predicted_nodes = len(nodes)
-                verify_stats = TraversalStats()
-                try:
-                    hit_tri = occlusion_any_hit_tri(
-                        bvh, ray, stats=verify_stats, start_nodes=nodes
-                    )
-                except TraversalError:
-                    # Corrupted entry point (possible when driving a raw
-                    # table without the predictor's range guard): treat
-                    # as a misprediction and restart from the root.
-                    guard_fallbacks += 1
-                    hit_tri = -1
-                outcome.verify_node_fetches = verify_stats.node_fetches
-                outcome.verify_tri_fetches = verify_stats.tri_fetches
-                if hit_tri >= 0:
-                    outcome.verified = True
-                    # Policy feedback: this stored node was useful.
-                    pred.confirm(ray_hash, pred.trained_node_for(hit_tri))
+                hit_tri = -1
+                if nodes:
+                    outcome.predicted = True
+                    outcome.predicted_nodes = len(nodes)
+                    verify_stats = TraversalStats()
+                    try:
+                        hit_tri = occlusion_any_hit_tri(
+                            bvh, ray, stats=verify_stats, start_nodes=nodes
+                        )
+                    except TraversalError:
+                        # Corrupted entry point (possible when driving a raw
+                        # table without the predictor's range guard): treat
+                        # as a misprediction and restart from the root.
+                        guard_fallbacks += 1
+                        hit_tri = -1
+                    outcome.verify_node_fetches = verify_stats.node_fetches
+                    outcome.verify_tri_fetches = verify_stats.tri_fetches
+                    if hit_tri >= 0:
+                        outcome.verified = True
+                        # Policy feedback: this stored node was useful.
+                        pred.confirm(ray_hash, pred.trained_node_for(hit_tri))
 
-            if not outcome.verified:
-                full_stats = TraversalStats()
-                hit_tri = occlusion_any_hit_tri(bvh, ray, stats=full_stats)
-                outcome.full_node_fetches = full_stats.node_fetches
-                outcome.full_tri_fetches = full_stats.tri_fetches
-                if outcome.predicted:
-                    mis_nodes += outcome.verify_node_fetches
-                    mis_tris += outcome.verify_tri_fetches
+                if not outcome.verified:
+                    full_stats = TraversalStats()
+                    hit_tri = occlusion_any_hit_tri(bvh, ray, stats=full_stats)
+                    outcome.full_node_fetches = full_stats.node_fetches
+                    outcome.full_tri_fetches = full_stats.tri_fetches
+                    if outcome.predicted:
+                        mis_nodes += outcome.verify_node_fetches
+                        mis_tris += outcome.verify_tri_fetches
 
-            outcome.hit = hit_tri >= 0
-            if outcome.hit:
-                pending.append((ray_hash, hit_tri))
+                outcome.hit = hit_tri >= 0
+                if outcome.hit:
+                    pending.append((ray_hash, hit_tri))
 
-            # Baseline bookkeeping: for verified rays the full traversal
-            # never ran, so measure it separately (oracle-free baseline).
-            if outcome.verified:
-                base_stats = TraversalStats()
-                occlusion_any_hit_tri(bvh, ray, stats=base_stats)
-                baseline_nodes += base_stats.node_fetches
-                baseline_tris += base_stats.tri_fetches
-            else:
-                baseline_nodes += outcome.full_node_fetches
-                baseline_tris += outcome.full_tri_fetches
+                # Baseline bookkeeping: for verified rays the full traversal
+                # never ran, so measure it separately (oracle-free baseline).
+                if outcome.verified:
+                    base_stats = TraversalStats()
+                    occlusion_any_hit_tri(bvh, ray, stats=base_stats)
+                    baseline_nodes += base_stats.node_fetches
+                    baseline_tris += base_stats.tri_fetches
+                else:
+                    baseline_nodes += outcome.full_node_fetches
+                    baseline_tris += outcome.full_tri_fetches
 
-            outcomes.append(outcome)
+                outcomes.append(outcome)
 
-        # Updates from this window commit only after the window drains.
-        for ray_hash, hit_tri in pending:
-            pred.train(ray_hash, hit_tri)
+            # Updates from this window commit only after the window drains.
+            for ray_hash, hit_tri in pending:
+                pred.train(ray_hash, hit_tri)
+        if telemetry.enabled() and stop > start:
+            window_predicted = sum(
+                1 for o in outcomes[start:stop] if o.predicted
+            )
+            telemetry.observe(
+                "predictor.window_predicted_fraction",
+                window_predicted / (stop - start),
+                buckets=FRACTION_BUCKETS, engine="scalar",
+            )
 
     return _finalize_result(
         outcomes, baseline_nodes, baseline_tris, mis_nodes, mis_tris,
-        guard_fallbacks, keep_outcomes,
+        guard_fallbacks, keep_outcomes, engine="scalar",
     )
 
 
@@ -272,13 +289,18 @@ def _finalize_result(
     mis_tris: int,
     guard_fallbacks: int,
     keep_outcomes: bool,
+    engine: str,
 ) -> SimulationResult:
-    """Aggregate per-ray outcomes into a :class:`SimulationResult`."""
+    """Aggregate per-ray outcomes into a :class:`SimulationResult`.
+
+    Also publishes the run's ``predictor.*`` counters into the global
+    telemetry registry (no-op while telemetry is off).
+    """
     n = len(outcomes)
     predicted = sum(1 for o in outcomes if o.predicted)
     verified = sum(1 for o in outcomes if o.verified)
     hits = sum(1 for o in outcomes if o.hit)
-    return SimulationResult(
+    result = SimulationResult(
         num_rays=n,
         predicted=predicted,
         verified=verified,
@@ -296,6 +318,8 @@ def _finalize_result(
         outcomes=outcomes if keep_outcomes else None,
         guard_fallbacks=guard_fallbacks,
     )
+    publish_simulation_result(result, engine=engine)
+    return result
 
 
 def _simulate_wavefront(
@@ -341,16 +365,26 @@ def _simulate_wavefront(
         window = [PredictionOutcome() for _ in range(m)]
 
         preds: List[Optional[List[int]]] = []
-        for j in range(m):
-            nodes = pred.predict(int(hashes[start + j]))
-            if nodes:
-                window[j].predicted = True
-                window[j].predicted_nodes = len(nodes)
-                preds.append(nodes)
-            else:
-                preds.append(None)
+        with telemetry.span("predictor.lookup", engine="wavefront", rays=m):
+            for j in range(m):
+                nodes = pred.predict(int(hashes[start + j]))
+                if nodes:
+                    window[j].predicted = True
+                    window[j].predicted_nodes = len(nodes)
+                    preds.append(nodes)
+                else:
+                    preds.append(None)
+        if telemetry.enabled() and m:
+            telemetry.observe(
+                "predictor.window_predicted_fraction",
+                sum(1 for w in window if w.predicted) / m,
+                buckets=FRACTION_BUCKETS, engine="wavefront",
+            )
 
-        ver_tri, ver_counts, guard_mask = wavefront_verify_batch(bvh, sub, preds)
+        with telemetry.span("predictor.verify", engine="wavefront", rays=m):
+            ver_tri, ver_counts, guard_mask = wavefront_verify_batch(
+                bvh, sub, preds
+            )
         guard_fallbacks += int(np.count_nonzero(guard_mask))
         verified = ver_tri >= 0
         hit_tri = np.full(m, -1, dtype=np.int64)
@@ -368,9 +402,13 @@ def _simulate_wavefront(
         # or no prediction), as one wavefront.
         unverified = np.nonzero(~verified)[0]
         if unverified.size:
-            full_tri, full_counts = wavefront_occlusion_tri_batch(
-                bvh, sub.subset(unverified), per_ray=True
-            )
+            with telemetry.span(
+                "predictor.fallback", engine="wavefront",
+                rays=int(unverified.size),
+            ):
+                full_tri, full_counts = wavefront_occlusion_tri_batch(
+                    bvh, sub.subset(unverified), per_ray=True
+                )
             hit_tri[unverified] = full_tri
             for k, j in enumerate(unverified):
                 window[j].full_node_fetches = int(full_counts.node_fetches[k])
@@ -385,9 +423,13 @@ def _simulate_wavefront(
         # never ran, so measure it separately (oracle-free baseline).
         verified_idx = np.nonzero(verified)[0]
         if verified_idx.size:
-            _, base_counts = wavefront_occlusion_tri_batch(
-                bvh, sub.subset(verified_idx), per_ray=True
-            )
+            with telemetry.span(
+                "predictor.baseline", engine="wavefront",
+                rays=int(verified_idx.size),
+            ):
+                _, base_counts = wavefront_occlusion_tri_batch(
+                    bvh, sub.subset(verified_idx), per_ray=True
+                )
             baseline_nodes += int(base_counts.node_fetches.sum())
             baseline_tris += int(base_counts.tri_fetches.sum())
 
@@ -402,5 +444,5 @@ def _simulate_wavefront(
 
     return _finalize_result(
         outcomes, baseline_nodes, baseline_tris, mis_nodes, mis_tris,
-        guard_fallbacks, keep_outcomes,
+        guard_fallbacks, keep_outcomes, engine="wavefront",
     )

@@ -45,6 +45,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.bvh.nodes import FlatBVH
 from repro.core.predictor import RayPredictor
 from repro.core.repacking import PartialWarpCollector
@@ -53,6 +54,7 @@ from repro.geometry.intersect import ray_aabb_intersect, ray_triangle_intersect
 from repro.geometry.ray import RayBatch
 from repro.gpu.config import GPUConfig
 from repro.gpu.memory import MemoryHierarchy
+from repro.telemetry.publish import publish_rt_unit_result
 
 #: Marker pushed below predicted nodes; popping it means the prediction
 #: failed and the ray must restart from the root (misprediction recovery).
@@ -221,6 +223,17 @@ class RTUnit:
     # ------------------------------------------------------------------
     def run(self, rays: RayBatch) -> RTUnitResult:
         """Trace every ray in ``rays`` (in order) and return statistics."""
+        with telemetry.span(
+            "rt_unit.run", rays=len(rays),
+            predictor=self.predictor is not None,
+        ) as sp:
+            result = self._run(rays)
+            sp.add(cycles=result.cycles, warp_steps=result.warp_steps)
+        publish_rt_unit_result(result)
+        return result
+
+    def _run(self, rays: RayBatch) -> RTUnitResult:
+        """The discrete-event loop behind :meth:`run`."""
         threads = self._make_threads(rays)
         pending = [
             threads[i : i + self.rt.warp_size]

@@ -17,6 +17,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.bvh.nodes import FlatBVH
 from repro.core.predictor import RayPredictor
 from repro.geometry.ray import RayBatch
@@ -25,6 +26,7 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.dram import DRAM
 from repro.gpu.memory import MemoryHierarchy
 from repro.gpu.rt_unit import RTUnit, RTUnitResult
+from repro.telemetry.publish import publish_cache_stats, publish_dram_stats
 
 
 @dataclass
@@ -186,16 +188,25 @@ def simulate_workload(
 
     per_sm: List[RTUnitResult] = []
     assignments = split_rays_across_sms(rays, config.num_sms, config.rt_unit.warp_size)
-    for sm, sm_rays in enumerate(assignments):
-        memory = MemoryHierarchy(config.memory, l2=shared_l2, dram=shared_dram)
-        predictor = None
-        if predictors is not None:
-            predictor = predictors[sm]
-        elif config.predictor is not None:
-            predictor = RayPredictor(bvh, config.predictor)
-        unit = RTUnit(bvh, config, memory, predictor=predictor)
-        shared_dram.reset_timing()
-        per_sm.append(unit.run(rays.subset(sm_rays)))
+    with telemetry.span(
+        "gpu.simulate", rays=len(rays), sms=config.num_sms,
+        predictor=config.predictor is not None,
+    ) as sp:
+        for sm, sm_rays in enumerate(assignments):
+            memory = MemoryHierarchy(config.memory, l2=shared_l2, dram=shared_dram)
+            predictor = None
+            if predictors is not None:
+                predictor = predictors[sm]
+            elif config.predictor is not None:
+                predictor = RayPredictor(bvh, config.predictor)
+            unit = RTUnit(bvh, config, memory, predictor=predictor)
+            shared_dram.reset_timing()
+            with telemetry.label_context(sm=sm):
+                per_sm.append(unit.run(rays.subset(sm_rays)))
+            publish_cache_stats(memory.l1.stats, level="l1", sm=sm)
 
-    cycles = max((r.cycles for r in per_sm), default=0)
+        cycles = max((r.cycles for r in per_sm), default=0)
+        sp.add(cycles=cycles)
+    publish_cache_stats(shared_l2.stats, level="l2")
+    publish_dram_stats(shared_dram.stats, config.memory.dram.num_banks)
     return SimOutput(cycles=cycles, per_sm=per_sm)

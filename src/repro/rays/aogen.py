@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.bvh.nodes import FlatBVH
 from repro.geometry.ray import RayBatch, RayBatchValidation, validate_ray_batch
 from repro.rays.camera import PinholeCamera
@@ -111,6 +112,30 @@ def generate_ao_workload(
     pass; both engines yield bit-identical hits, so the generated
     workload does not depend on the choice.
     """
+    with telemetry.span(
+        "workload.generate", width=width, height=height, spp=spp,
+        engine=engine,
+    ) as sp:
+        workload = _generate_ao_workload(
+            scene, bvh, width, height, spp, seed, engine
+        )
+        sp.add(
+            rays=len(workload.rays),
+            primary_hits=workload.num_primary_hits,
+        )
+    telemetry.inc_counter("workload.ao_rays", len(workload.rays), engine=engine)
+    return workload
+
+
+def _generate_ao_workload(
+    scene: Scene,
+    bvh: FlatBVH,
+    width: int,
+    height: int,
+    spp: int,
+    seed: int,
+    engine: str,
+) -> AOWorkload:
     rng = np.random.default_rng(seed)
     camera = PinholeCamera(scene.camera, width, height)
     primary = camera.primary_rays()

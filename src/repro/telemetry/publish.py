@@ -1,0 +1,139 @@
+"""Fold pipeline result objects into the global metrics registry.
+
+Each ``publish_*`` helper maps one subsystem's result/stats object onto
+the documented metric catalog (``docs/OBSERVABILITY.md``).  They are
+duck-typed on purpose: importing the GPU or simulation modules here
+would create an import cycle (those modules import
+:mod:`repro.telemetry` for spans), and attribute access is all the
+mapping needs.
+
+Every helper is a no-op while telemetry is disabled, so instrumented
+call sites invoke them unconditionally.
+"""
+
+from __future__ import annotations
+
+from repro import telemetry
+
+#: Bucket edges for fraction-valued histograms (rates in [0, 1]).
+FRACTION_BUCKETS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def publish_simulation_result(result, engine: str, **labels: object) -> None:
+    """Publish a functional :class:`~repro.core.simulate.SimulationResult`.
+
+    Emits the paper's headline decomposition: every ray is exactly one
+    of verified / mispredicted / unpredicted, and
+    ``predicted = verified + mispredicted``.
+    """
+    if not telemetry.enabled():
+        return
+    inc = telemetry.inc_counter
+    mispredicted = result.predicted - result.verified
+    inc("predictor.rays", result.num_rays, engine=engine, **labels)
+    inc("predictor.predicted", result.predicted, engine=engine, **labels)
+    inc("predictor.verified", result.verified, engine=engine, **labels)
+    inc("predictor.mispredicted", mispredicted, engine=engine, **labels)
+    inc("predictor.unpredicted", result.num_rays - result.predicted,
+        engine=engine, **labels)
+    inc("predictor.hits", result.hits, engine=engine, **labels)
+    inc("predictor.table_lookups", result.table_lookups, engine=engine, **labels)
+    inc("predictor.table_updates", result.table_updates, engine=engine, **labels)
+    inc("predictor.guard_fallbacks", result.guard_fallbacks,
+        engine=engine, **labels)
+    inc("predictor.node_fetches", result.predictor_node_fetches,
+        engine=engine, **labels)
+    inc("predictor.tri_fetches", result.predictor_tri_fetches,
+        engine=engine, **labels)
+    inc("predictor.baseline_node_fetches", result.baseline_node_fetches,
+        engine=engine, **labels)
+    inc("predictor.baseline_tri_fetches", result.baseline_tri_fetches,
+        engine=engine, **labels)
+    inc("predictor.misprediction_node_fetches",
+        result.misprediction_node_fetches, engine=engine, **labels)
+    inc("predictor.misprediction_tri_fetches",
+        result.misprediction_tri_fetches, engine=engine, **labels)
+    telemetry.observe(
+        "predictor.verified_rate", result.verified_rate,
+        buckets=FRACTION_BUCKETS, engine=engine, **labels,
+    )
+
+
+def publish_rt_unit_result(result, **labels: object) -> None:
+    """Publish a :class:`~repro.gpu.rt_unit.RTUnitResult`.
+
+    Cache and DRAM traffic is published separately (from the cache/DRAM
+    stats objects themselves, see :func:`publish_cache_stats`) to avoid
+    double counting when several RT units share one hierarchy.
+    """
+    if not telemetry.enabled():
+        return
+    inc = telemetry.inc_counter
+    inc("rt_unit.rays", result.rays, **labels)
+    inc("rt_unit.hits", result.hits, **labels)
+    inc("rt_unit.predicted", result.predicted, **labels)
+    inc("rt_unit.verified", result.verified, **labels)
+    inc("rt_unit.mispredicted", result.predicted - result.verified, **labels)
+    inc("rt_unit.node_fetches", result.node_fetches, **labels)
+    inc("rt_unit.tri_fetches", result.tri_fetches, **labels)
+    inc("rt_unit.box_tests", result.box_tests, **labels)
+    inc("rt_unit.tri_tests", result.tri_tests, **labels)
+    inc("rt_unit.warps_executed", result.warps_executed, **labels)
+    inc("rt_unit.warp_steps", result.warp_steps, **labels)
+    inc("rt_unit.stack_spills", result.stack_spills, **labels)
+    inc("rt_unit.guard_restarts", result.guard_restarts, **labels)
+    inc("rt_unit.predictor_lookups", result.predictor_lookups, **labels)
+    inc("rt_unit.predictor_updates", result.predictor_updates, **labels)
+    telemetry.set_gauge("rt_unit.cycles", result.cycles, **labels)
+    telemetry.set_gauge(
+        "rt_unit.simt_efficiency", result.simt_efficiency, **labels
+    )
+
+
+def publish_cache_stats(stats, level: str, **labels: object) -> None:
+    """Publish one :class:`~repro.gpu.cache.CacheStats` (``level``: l1/l2).
+
+    Counters are cumulative on the stats object, so publish once per
+    run from a single owner (the workload simulator), not per access.
+    """
+    if not telemetry.enabled():
+        return
+    telemetry.inc_counter("cache.accesses", stats.accesses,
+                          level=level, **labels)
+    telemetry.inc_counter("cache.hits", stats.hits, level=level, **labels)
+    telemetry.inc_counter("cache.misses", stats.misses, level=level, **labels)
+    telemetry.set_gauge("cache.hit_rate", stats.hit_rate,
+                        level=level, **labels)
+
+
+def publish_dram_stats(stats, num_banks: int, **labels: object) -> None:
+    """Publish one :class:`~repro.gpu.dram.DRAMStats`."""
+    if not telemetry.enabled():
+        return
+    telemetry.inc_counter("dram.accesses", stats.accesses, **labels)
+    telemetry.inc_counter("dram.stall_cycles", stats.stall_cycles, **labels)
+    telemetry.inc_counter("dram.busy_cycles", stats.busy_cycles, **labels)
+    telemetry.set_gauge(
+        "dram.bank_parallelism", stats.bank_parallelism(num_banks), **labels
+    )
+
+
+def publish_bvh(bvh, method: str, **labels: object) -> None:
+    """Publish build-time facts of a :class:`~repro.bvh.nodes.FlatBVH`."""
+    if not telemetry.enabled():
+        return
+    telemetry.inc_counter("bvh.builds", 1, method=method, **labels)
+    telemetry.set_gauge("bvh.nodes", bvh.num_nodes, method=method, **labels)
+    telemetry.set_gauge(
+        "bvh.triangles", bvh.num_triangles, method=method, **labels
+    )
+
+
+__all__ = [
+    "FRACTION_BUCKETS",
+    "publish_bvh",
+    "publish_cache_stats",
+    "publish_dram_stats",
+    "publish_rt_unit_result",
+    "publish_simulation_result",
+]

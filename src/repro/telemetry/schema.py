@@ -1,0 +1,191 @@
+"""Schema validation for ``telemetry.json`` artifacts.
+
+The layout contract (schema tag ``repro-telemetry/1``) is documented in
+``docs/OBSERVABILITY.md``; the CI ``telemetry-smoke`` step runs
+``repro telemetry --quick --check``, which validates the freshly
+emitted payload with :func:`validate_telemetry`.  Validation returns
+human-readable problem strings instead of raising, matching the bench
+harness's regression-gate style.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Artifact schema identifier; bump on incompatible layout changes.
+TELEMETRY_SCHEMA = "repro-telemetry/1"
+
+#: Counter families a workload run must have recorded (the acceptance
+#: surface: prediction outcomes, traffic, and cache behaviour).
+REQUIRED_COUNTERS = (
+    "predictor.rays",
+    "predictor.predicted",
+    "predictor.verified",
+    "predictor.mispredicted",
+    "predictor.node_fetches",
+    "trace.node_fetches",
+    "cache.accesses",
+    "cache.hits",
+    "cache.misses",
+)
+
+#: Top-level keys every payload must carry.
+REQUIRED_KEYS = (
+    "schema", "scene", "preset", "metrics", "spans", "phases",
+    "trace_events",
+)
+
+_VALID_PHASES = {"X", "i", "M"}
+
+
+def _check_metrics(metrics, problems: List[str]) -> None:
+    if not isinstance(metrics, dict):
+        problems.append("metrics: expected an object")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        entries = metrics.get(section)
+        if not isinstance(entries, list):
+            problems.append(f"metrics.{section}: expected a list")
+            continue
+        for i, entry in enumerate(entries):
+            where = f"metrics.{section}[{i}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where}: expected an object")
+                continue
+            if not isinstance(entry.get("name"), str):
+                problems.append(f"{where}: missing string 'name'")
+            if not isinstance(entry.get("labels"), dict):
+                problems.append(f"{where}: missing object 'labels'")
+            if section == "counters":
+                value = entry.get("value")
+                if not isinstance(value, int) or value < 0:
+                    problems.append(
+                        f"{where}: counter value must be a non-negative "
+                        f"integer, got {value!r}"
+                    )
+            elif section == "gauges":
+                if not isinstance(entry.get("value"), (int, float)):
+                    problems.append(f"{where}: gauge value must be numeric")
+            else:
+                buckets = entry.get("buckets")
+                if not isinstance(buckets, list) or not buckets:
+                    problems.append(f"{where}: histogram needs buckets")
+                elif buckets[-1].get("le") != "inf":
+                    problems.append(
+                        f"{where}: last histogram bucket must be 'inf'"
+                    )
+
+
+def _check_trace_events(events, problems: List[str]) -> None:
+    if not isinstance(events, list):
+        problems.append("trace_events: expected a list")
+        return
+    if not events:
+        problems.append("trace_events: empty (no spans were recorded)")
+        return
+    for i, ev in enumerate(events):
+        where = f"trace_events[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: expected an object")
+            continue
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing string 'name'")
+        phase = ev.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: invalid phase {phase!r}")
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+            ev.get("tid"), int
+        ):
+            problems.append(f"{where}: pid/tid must be integers")
+        if phase == "M":
+            continue  # metadata records carry no timestamp
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: 'ts' must be a non-negative number")
+        if phase == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"{where}: complete event needs non-negative 'dur'"
+                )
+
+
+def _counter_totals(metrics: dict) -> dict:
+    totals: dict = {}
+    for entry in metrics.get("counters", []):
+        if isinstance(entry, dict) and isinstance(entry.get("value"), int):
+            totals[entry.get("name")] = (
+                totals.get(entry.get("name"), 0) + entry["value"]
+            )
+    return totals
+
+
+def validate_telemetry(payload: dict) -> List[str]:
+    """Validate a ``telemetry.json`` payload against the documented schema.
+
+    Returns:
+        Human-readable problems; an empty list means the payload is
+        valid.  Beyond structure, this checks the predictor accounting
+        invariant the 7-scene smoke test relies on:
+        ``verified + mispredicted + unpredicted == rays`` and
+        ``verified + mispredicted == predicted``.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload: expected a JSON object"]
+    schema = payload.get("schema")
+    if schema != TELEMETRY_SCHEMA:
+        problems.append(
+            f"schema: expected {TELEMETRY_SCHEMA!r}, got {schema!r}"
+        )
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"missing required key {key!r}")
+
+    metrics = payload.get("metrics", {})
+    _check_metrics(metrics, problems)
+    _check_trace_events(payload.get("trace_events"), problems)
+
+    spans = payload.get("spans")
+    if not isinstance(spans, dict):
+        problems.append("spans: expected an object")
+    else:
+        for name, summary in spans.items():
+            if not isinstance(summary, dict) or "count" not in summary or (
+                "total_ms" not in summary
+            ):
+                problems.append(
+                    f"spans[{name!r}]: needs 'count' and 'total_ms'"
+                )
+
+    if isinstance(metrics, dict):
+        totals = _counter_totals(metrics)
+        for name in REQUIRED_COUNTERS:
+            if name not in totals:
+                problems.append(f"metrics: required counter {name!r} missing")
+        if all(
+            k in totals
+            for k in ("predictor.rays", "predictor.predicted",
+                      "predictor.verified", "predictor.mispredicted",
+                      "predictor.unpredicted")
+        ):
+            rays = totals["predictor.rays"]
+            predicted = totals["predictor.predicted"]
+            verified = totals["predictor.verified"]
+            mispredicted = totals["predictor.mispredicted"]
+            unpredicted = totals["predictor.unpredicted"]
+            if verified + mispredicted != predicted:
+                problems.append(
+                    "predictor accounting: verified + mispredicted "
+                    f"({verified} + {mispredicted}) != predicted ({predicted})"
+                )
+            if predicted + unpredicted != rays:
+                problems.append(
+                    "predictor accounting: predicted + unpredicted "
+                    f"({predicted} + {unpredicted}) != rays ({rays})"
+                )
+    return problems
+
+
+__all__ = ["REQUIRED_COUNTERS", "REQUIRED_KEYS", "TELEMETRY_SCHEMA",
+           "validate_telemetry"]

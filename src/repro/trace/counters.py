@@ -1,64 +1,19 @@
-"""Traversal statistics counters.
+"""Deprecated shim: :class:`TraversalStats` moved to the telemetry layer.
 
-The paper's figures are denominated in *memory accesses*: fetches of BVH
-node records versus fetches of triangle records (Figure 1, Figure 13) and
-nodes traversed per ray (Equation 1, Table 5).  :class:`TraversalStats`
-accumulates exactly those quantities.
+The canonical home is :mod:`repro.telemetry.stats`, where the counters
+gained a :meth:`~repro.telemetry.stats.TraversalStats.publish` method
+folding finished accumulations into the global metrics registry
+(``repro.telemetry.get_registry()``).  This module re-exports the same
+public name so existing imports keep working unchanged:
+
+    from repro.trace.counters import TraversalStats   # still fine
+
+New code should import from :mod:`repro.trace` (or
+:mod:`repro.telemetry.stats` directly) instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from repro.telemetry.stats import TraversalStats
 
-
-@dataclass
-class TraversalStats:
-    """Mutable counters accumulated while tracing one or more rays.
-
-    Attributes:
-        node_fetches: interior BVH node records fetched from memory.
-        tri_fetches: triangle records fetched from memory.
-        box_tests: ray-box intersection tests executed.
-        tri_tests: ray-triangle intersection tests executed.
-        rays: rays traced into this counter.
-        hits: rays that found an intersection.
-        trace: optional ordered access log of ``("node"|"tri", index)``
-            pairs, populated only when tracing with ``record_trace=True``.
-    """
-
-    node_fetches: int = 0
-    tri_fetches: int = 0
-    box_tests: int = 0
-    tri_tests: int = 0
-    rays: int = 0
-    hits: int = 0
-    trace: List[Tuple[str, int]] = field(default_factory=list)
-
-    @property
-    def total_accesses(self) -> int:
-        """Total memory accesses (node + triangle fetches)."""
-        return self.node_fetches + self.tri_fetches
-
-    def merge(self, other: "TraversalStats") -> None:
-        """Accumulate ``other`` into this counter (traces concatenate)."""
-        self.node_fetches += other.node_fetches
-        self.tri_fetches += other.tri_fetches
-        self.box_tests += other.box_tests
-        self.tri_tests += other.tri_tests
-        self.rays += other.rays
-        self.hits += other.hits
-        if other.trace:
-            self.trace.extend(other.trace)
-
-    def per_ray(self) -> "TraversalStats":
-        """Average counters per ray (trace omitted)."""
-        n = max(1, self.rays)
-        return TraversalStats(
-            node_fetches=self.node_fetches / n,
-            tri_fetches=self.tri_fetches / n,
-            box_tests=self.box_tests / n,
-            tri_tests=self.tri_tests / n,
-            rays=1,
-            hits=self.hits / n,
-        )
+__all__ = ["TraversalStats"]

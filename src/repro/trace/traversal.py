@@ -20,6 +20,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.bvh.nodes import FlatBVH
 from repro.errors import TraversalError
 from repro.geometry.intersect import ray_aabb_intersect, ray_triangle_intersect
@@ -251,7 +252,10 @@ def closest_hit(
                 t = ray_triangle_intersect(
                     ox, oy, oz, dx, dy, dz, t_min, best_t, tv0[tri], tv1[tri], tv2[tri]
                 )
-                if t is not None and t < best_t:
+                # On an exact t tie the lowest triangle index wins — the
+                # same convention as the wavefront engine, so the reported
+                # triangle is traversal-order independent.
+                if t is not None and (t < best_t or (t == best_t and tri < best_tri)):
                     best_t = t
                     best_tri = tri
             continue
@@ -383,11 +387,16 @@ def trace_occlusion_batch(
     if stats is None:
         stats = TraversalStats()
     if resolve_engine(engine) == "wavefront":
+        # The wavefront entry point carries its own span + counters.
         return wavefront_occlusion_batch(bvh, rays, stats=stats)
     batch = _materialize_rays(rays)
     hits = np.empty(len(batch), dtype=bool)
-    for i, ray in enumerate(batch):
-        hits[i] = occlusion_any_hit(bvh, ray, stats=stats)
+    local = TraversalStats()
+    with telemetry.span("trace.occlusion", engine="scalar", rays=len(batch)):
+        for i, ray in enumerate(batch):
+            hits[i] = occlusion_any_hit(bvh, ray, stats=local)
+    local.publish(engine="scalar", stage="occlusion")
+    stats.merge(local)
     return hits
 
 
@@ -410,10 +419,15 @@ def trace_closest_batch(
     if stats is None:
         stats = TraversalStats()
     if resolve_engine(engine) == "wavefront":
+        # The wavefront entry point carries its own span + counters.
         return wavefront_closest_batch(bvh, rays, stats=stats)
     batch = _materialize_rays(rays)
     ts = np.empty(len(batch), dtype=np.float64)
     tris = np.empty(len(batch), dtype=np.int64)
-    for i, ray in enumerate(batch):
-        ts[i], tris[i] = closest_hit(bvh, ray, stats=stats)
+    local = TraversalStats()
+    with telemetry.span("trace.closest", engine="scalar", rays=len(batch)):
+        for i, ray in enumerate(batch):
+            ts[i], tris[i] = closest_hit(bvh, ray, stats=local)
+    local.publish(engine="scalar", stage="closest")
+    stats.merge(local)
     return ts, tris

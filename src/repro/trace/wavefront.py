@@ -50,6 +50,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.bvh.nodes import FlatBVH
 from repro.geometry.intersect import (
     ray_aabb_intersect_batch,
@@ -180,7 +181,7 @@ def _any_hit_pass(
     frontier: Frontier,
     hit_tri: np.ndarray,
     counters: PerRayCounters,
-) -> None:
+) -> int:
     """Run one any-hit wavefront to completion, retiring rays on first hit.
 
     ``frontier`` seeds the pass; ``hit_tri`` (-1 = no hit yet) and the
@@ -192,6 +193,9 @@ def _any_hit_pass(
     the scalar engine's early-return.  When several triangles occlude a
     ray at the same level, the lowest triangle index is recorded
     (deterministic; any-hit callers only rely on *some* in-range hit).
+
+    Returns:
+        The number of levels (vectorized iterations) the pass ran.
     """
     origins = rays.origins
     directions = rays.directions
@@ -204,8 +208,10 @@ def _any_hit_pass(
     v0, v1, v2 = bvh.mesh.v0, bvh.mesh.v1, bvh.mesh.v2
     n = len(rays)
 
+    levels = 0
     nodes, rids = frontier
     while nodes.size:
+        levels += 1
         alive = hit_tri[rids] < 0
         if not alive.all():
             nodes, rids = nodes[alive], rids[alive]
@@ -250,6 +256,7 @@ def _any_hit_pass(
         hit_r = ray_aabb_intersect_batch(o, inv, tn, tx, lo[rchild], hi[rchild])
         nodes = np.concatenate([lchild[hit_l], rchild[hit_r]])
         rids = np.concatenate([irids[hit_l], irids[hit_r]])
+    return levels
 
 
 def _root_frontier(
@@ -284,6 +291,41 @@ def _accumulate(
     stats.tri_tests += int(counters.tri_fetches.sum())
     stats.rays += rays
     stats.hits += hits
+
+
+#: Bucket edges for the per-pass level-count histogram (tree depths).
+_LEVEL_BUCKETS = (4, 8, 12, 16, 20, 24, 32, 48, 64)
+
+
+def _publish_counters(
+    counters: PerRayCounters, rays: int, stage: str, levels: int,
+    hits: int = 0,
+) -> None:
+    """Record one wavefront pass into the global telemetry registry."""
+    if not telemetry.enabled():
+        return
+    telemetry.inc_counter("trace.rays", rays, engine="wavefront", stage=stage)
+    telemetry.inc_counter("trace.hits", hits, engine="wavefront", stage=stage)
+    telemetry.inc_counter(
+        "trace.node_fetches", int(counters.node_fetches.sum()),
+        engine="wavefront", stage=stage,
+    )
+    telemetry.inc_counter(
+        "trace.tri_fetches", int(counters.tri_fetches.sum()),
+        engine="wavefront", stage=stage,
+    )
+    telemetry.inc_counter(
+        "trace.box_tests", int(counters.box_tests.sum()),
+        engine="wavefront", stage=stage,
+    )
+    # Simulated triangle fetch == one test (scalar convention).
+    telemetry.inc_counter(
+        "trace.tri_tests", int(counters.tri_fetches.sum()),
+        engine="wavefront", stage=stage,
+    )
+    telemetry.observe(
+        "wavefront.levels", levels, buckets=_LEVEL_BUCKETS, stage=stage
+    )
 
 
 def wavefront_occlusion_tri_batch(
@@ -326,10 +368,16 @@ def wavefront_occlusion_tri_batch(
         frontier = _checked_frontier(
             start_nodes, bvh.num_nodes, np.arange(n, dtype=np.int64)
         )
-    _any_hit_pass(bvh, batch, frontier, hit_tri, counters)
+    with telemetry.span(
+        "wavefront.occlusion", rays=n, seeded=start_nodes is not None
+    ) as sp:
+        levels = _any_hit_pass(bvh, batch, frontier, hit_tri, counters)
+        sp.add(levels=levels)
+    hits = int((hit_tri >= 0).sum())
+    _publish_counters(counters, n, "occlusion", levels, hits)
 
     if stats is not None:
-        _accumulate(stats, counters, n, int((hit_tri >= 0).sum()))
+        _accumulate(stats, counters, n, hits)
     if per_ray:
         return hit_tri, counters
     return hit_tri
@@ -364,7 +412,10 @@ def wavefront_closest_batch(
     Pruning only ever skips work; the minimum hit parameter over all
     in-range triangles is traversal-order independent, so the final
     ``t`` stays bit-identical to the scalar engine.  On an exact ``t``
-    tie between triangles the lowest triangle index wins.
+    tie between triangles of one level the lowest triangle index wins;
+    across levels the earliest level keeps the slot, so the reported
+    triangle can differ from the scalar engine's on a genuine tie
+    (the scalar kernel reports the lowest index it visited).
 
     Returns:
         ``(t, tri)`` arrays (``inf`` / ``-1`` on miss); with
@@ -385,51 +436,57 @@ def wavefront_closest_batch(
     first_tri, tri_count = bvh.first_tri, bvh.tri_count
     v0, v1, v2 = bvh.mesh.v0, bvh.mesh.v1, bvh.mesh.v2
 
-    nodes, rids = _root_frontier(bvh, batch, counters, best_t)
-    while nodes.size:
-        is_leaf = left[nodes] < 0
+    levels = 0
+    with telemetry.span("wavefront.closest", rays=n) as sp:
+        nodes, rids = _root_frontier(bvh, batch, counters, best_t)
+        while nodes.size:
+            levels += 1
+            is_leaf = left[nodes] < 0
 
-        if is_leaf.any():
-            pair_rids, pair_tris = _leaf_pairs(
-                nodes[is_leaf], rids[is_leaf], first_tri, tri_count
-            )
-            np.add.at(counters.tri_fetches, pair_rids, 1)
-            t = ray_triangle_intersect_batch(
-                origins[pair_rids], directions[pair_rids],
-                t_min[pair_rids], best_t[pair_rids],
-                v0[pair_tris], v1[pair_tris], v2[pair_tris],
-            )
-            # Per-ray minimum over this level's pairs (t is inf on miss).
-            cand_t = np.full(n, np.inf)
-            np.minimum.at(cand_t, pair_rids, t)
-            improved = cand_t < best_t
-            if improved.any():
-                at_best = np.isfinite(t) & (t == cand_t[pair_rids])
-                cand_tri = np.full(n, _NO_TRI, dtype=np.int64)
-                np.minimum.at(cand_tri, pair_rids[at_best], pair_tris[at_best])
-                best_t[improved] = cand_t[improved]
-                best_tri[improved] = cand_tri[improved]
+            if is_leaf.any():
+                pair_rids, pair_tris = _leaf_pairs(
+                    nodes[is_leaf], rids[is_leaf], first_tri, tri_count
+                )
+                np.add.at(counters.tri_fetches, pair_rids, 1)
+                t = ray_triangle_intersect_batch(
+                    origins[pair_rids], directions[pair_rids],
+                    t_min[pair_rids], best_t[pair_rids],
+                    v0[pair_tris], v1[pair_tris], v2[pair_tris],
+                )
+                # Per-ray minimum over this level's pairs (t is inf on miss).
+                cand_t = np.full(n, np.inf)
+                np.minimum.at(cand_t, pair_rids, t)
+                improved = cand_t < best_t
+                if improved.any():
+                    at_best = np.isfinite(t) & (t == cand_t[pair_rids])
+                    cand_tri = np.full(n, _NO_TRI, dtype=np.int64)
+                    np.minimum.at(cand_tri, pair_rids[at_best], pair_tris[at_best])
+                    best_t[improved] = cand_t[improved]
+                    best_tri[improved] = cand_tri[improved]
 
-        inodes, irids = nodes[~is_leaf], rids[~is_leaf]
-        if inodes.size == 0:
-            break
-        np.add.at(counters.node_fetches, irids, 1)
-        np.add.at(counters.box_tests, irids, 2)
-        lchild = left[inodes].astype(np.int64, copy=False)
-        rchild = right[inodes].astype(np.int64, copy=False)
-        o = origins[irids]
-        inv = inv_d[irids]
-        tn = t_min[irids]
-        tx = best_t[irids]
-        hit_l = ray_aabb_intersect_batch(o, inv, tn, tx, lo[lchild], hi[lchild])
-        hit_r = ray_aabb_intersect_batch(o, inv, tn, tx, lo[rchild], hi[rchild])
-        nodes = np.concatenate([lchild[hit_l], rchild[hit_r]])
-        rids = np.concatenate([irids[hit_l], irids[hit_r]])
+            inodes, irids = nodes[~is_leaf], rids[~is_leaf]
+            if inodes.size == 0:
+                break
+            np.add.at(counters.node_fetches, irids, 1)
+            np.add.at(counters.box_tests, irids, 2)
+            lchild = left[inodes].astype(np.int64, copy=False)
+            rchild = right[inodes].astype(np.int64, copy=False)
+            o = origins[irids]
+            inv = inv_d[irids]
+            tn = t_min[irids]
+            tx = best_t[irids]
+            hit_l = ray_aabb_intersect_batch(o, inv, tn, tx, lo[lchild], hi[lchild])
+            hit_r = ray_aabb_intersect_batch(o, inv, tn, tx, lo[rchild], hi[rchild])
+            nodes = np.concatenate([lchild[hit_l], rchild[hit_r]])
+            rids = np.concatenate([irids[hit_l], irids[hit_r]])
+        sp.add(levels=levels)
 
     hits = best_tri >= 0
+    num_hits = int(hits.sum())
     ts = np.where(hits, best_t, np.inf)
+    _publish_counters(counters, n, "closest", levels, num_hits)
     if stats is not None:
-        _accumulate(stats, counters, n, int(hits.sum()))
+        _accumulate(stats, counters, n, num_hits)
     if per_ray:
         return ts, best_tri, counters
     return ts, best_tri
@@ -499,8 +556,15 @@ def wavefront_verify_batch(
         np.asarray(seed_nodes, dtype=np.int64),
         np.asarray(seed_rids, dtype=np.int64),
     )
-    _any_hit_pass(bvh, rays, frontier, hit_tri, counters)
+    with telemetry.span(
+        "wavefront.verify", rays=n, seeded=len(seed_rids),
+        guarded=int(guard_fallback.sum()),
+    ) as sp:
+        levels = _any_hit_pass(bvh, rays, frontier, hit_tri, counters)
+        sp.add(levels=levels)
+    hits = int((hit_tri >= 0).sum())
+    _publish_counters(counters, n, "verify", levels, hits)
 
     if stats is not None:
-        _accumulate(stats, counters, n, int((hit_tri >= 0).sum()))
+        _accumulate(stats, counters, n, hits)
     return hit_tri, counters, guard_fallback

@@ -7,6 +7,7 @@ import os
 import pytest
 
 from repro.bench import (
+    ACCEPTED_SCHEMAS,
     BENCH_SCHEMA,
     QUICK_PRESET,
     BenchPreset,
@@ -79,6 +80,35 @@ class TestArtifact:
         with pytest.raises(ValueError, match="unsupported benchmark schema"):
             load_payload(path)
 
+    def test_load_accepts_previous_schema(self, payload, tmp_path):
+        # Baselines written as repro-bench/1 (before the telemetry
+        # section existed) must stay readable by the regression gate.
+        assert "repro-bench/1" in ACCEPTED_SCHEMAS
+        old = dict(payload, schema="repro-bench/1")
+        old.pop("telemetry", None)
+        path = write_payload(old, str(tmp_path))
+        assert load_payload(path)["schema"] == "repro-bench/1"
+
+    def test_no_telemetry_section_when_disabled(self, payload):
+        # The module fixture runs with telemetry off; the artifact must
+        # not grow a telemetry section in that mode.
+        assert "telemetry" not in payload
+
+    def test_telemetry_section_when_enabled(self):
+        from repro import telemetry
+
+        with telemetry.enabled_scope():
+            telemetry.reset_telemetry()
+            enabled_payload = run_benchmarks(TEST_PRESET)
+        section = enabled_payload["telemetry"]
+        names = {c["name"] for c in section["metrics"]["counters"]}
+        assert "trace.node_fetches" in names
+        assert any(
+            c["labels"].get("scene") == "SB"
+            for c in section["metrics"]["counters"]
+        )
+        assert section["spans"]
+
     def test_summarize_mentions_speedups(self, payload):
         text = summarize(payload)
         assert "occlusion_trace" in text
@@ -141,7 +171,7 @@ class TestCommittedBaselines:
     @pytest.mark.parametrize("name", ["quick", "wavefront"])
     def test_baseline_loads(self, name):
         payload = load_payload(os.path.join(BASELINE_DIR, f"BENCH_{name}.json"))
-        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["schema"] in ACCEPTED_SCHEMAS
         assert payload["results"]
 
     def test_quick_baseline_matches_preset(self):

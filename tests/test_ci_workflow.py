@@ -39,7 +39,9 @@ def workflow(workflow_text):
 
 class TestWorkflowStructure:
     def test_parses_and_has_expected_jobs(self, workflow):
-        assert set(workflow["jobs"]) == {"test", "lint", "benchmark-smoke"}
+        assert set(workflow["jobs"]) == {
+            "test", "lint", "benchmark-smoke", "telemetry-smoke"
+        }
 
     def test_python_matrix_spans_supported_range(self, workflow):
         versions = workflow["jobs"]["test"]["strategy"]["matrix"]["python-version"]
@@ -83,3 +85,19 @@ class TestBenchmarkGate:
 
     def test_text_mentions_tier1_invocation(self, workflow_text):
         assert "python -m pytest -x -q" in workflow_text
+
+
+class TestTelemetryGate:
+    def test_smoke_job_runs_quick_check(self, workflow):
+        runs = [
+            step.get("run", "")
+            for step in workflow["jobs"]["telemetry-smoke"]["steps"]
+        ]
+        assert any("repro telemetry --quick --check" in r for r in runs)
+
+    def test_uploads_artifact(self, workflow):
+        paths = [
+            step.get("with", {}).get("path", "")
+            for step in workflow["jobs"]["telemetry-smoke"]["steps"]
+        ]
+        assert any("telemetry.json" in p for p in paths)

@@ -76,3 +76,40 @@ class TestCLI:
         assert main(["report", "--results", str(results), "--output", str(out)]) == 0
         assert out.exists()
         assert "Figure 12" in out.read_text()
+
+    def test_telemetry_command(self, capsys, tmp_path):
+        import json
+
+        from repro import telemetry
+
+        out = tmp_path / "telemetry.json"
+        trace = tmp_path / "trace.json"
+        assert main([
+            "telemetry", "--scene", "SP", "--quick", "--check",
+            "--out", str(out), "--trace-out", str(trace),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "telemetry artifact valid" in captured.out
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-telemetry/1"
+        assert json.loads(trace.read_text())["traceEvents"]
+        # The subcommand force-enables for its run only.
+        assert not telemetry.enabled()
+
+    def test_global_telemetry_flag_enables(self, capsys):
+        from repro import telemetry
+
+        try:
+            assert main([
+                "--detail", "0.2", "--telemetry", "quick", "SP",
+                "--size", "8", "--spp", "1",
+            ]) == 0
+            assert telemetry.enabled()
+            names = {
+                c["name"]
+                for c in telemetry.get_registry().snapshot()["counters"]
+            }
+            assert "trace.rays" in names
+        finally:
+            telemetry.disable()
+            telemetry.reset_telemetry()

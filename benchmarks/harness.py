@@ -7,8 +7,12 @@ straight from a checkout without installing the package::
     PYTHONPATH=src python benchmarks/harness.py --quick --check
 
 This is exactly ``python -m repro bench`` (the CLI subcommand and this
-script share the same implementation); see ``docs/BENCHMARKING.md`` for
-the artifact schema and the CI regression gate.
+script share the same implementation), so the resilience flags work here
+too: ``--resume``, ``--supervise``, ``--max-retries``, ``--unit-timeout``,
+``--memory-budget``, ``--no-degrade``, and the chaos-testing flags
+(``--chaos-rate``, ``--force-fail``).  See ``docs/BENCHMARKING.md`` for
+the artifact schema and the CI regression gate, and ``docs/ROBUSTNESS.md``
+for the supervisor and degradation-ladder semantics.
 """
 
 from __future__ import annotations

@@ -6,8 +6,18 @@ Commands:
     limit SCENE       run the Figure 2 limit study on a scene
     faults SCENE      differential fault-injection oracle for a scene
     bench             scalar-vs-wavefront timing, BENCH_*.json artifacts
+    simulate          resilient multi-scene predictor sweep, SIM_*.json
     telemetry         instrumented run, telemetry.json + summary
     report            stitch results/*.txt into a single REPORT.md
+
+Resilience (``bench`` and ``simulate``): ``--resume`` continues a sweep
+from its checkpoint without re-running completed scenes; ``--supervise``
+/ ``--max-retries`` / ``--unit-timeout`` / ``--memory-budget`` run each
+scene under the run supervisor (retry with backoff, then the
+wavefront -> scalar -> predictor-off -> skip degradation ladder);
+``--no-degrade`` fails the sweep instead of degrading; ``--chaos-rate``
+/ ``--force-fail`` inject synthetic unit faults for chaos testing.
+See docs/ROBUSTNESS.md.
 
 The global ``--telemetry`` flag (or ``REPRO_TELEMETRY=1``) switches on
 metric/span collection for any command; the ``telemetry`` subcommand
@@ -18,8 +28,10 @@ The CLI is a thin veneer over the library; the benchmark harness under
 
 Failures map to distinct exit codes (see :mod:`repro.errors`): 3 scene
 loading, 4 invalid input, 5 traversal integrity, 6 watchdog, 7 oracle
-mismatch, 70 unexpected internal error.  Structured errors print a
-one-line actionable message instead of a traceback.
+mismatch, 8 checkpoint, 9 unit timeout, 10 memory budget, 11 escaped
+injected fault, 12 sweep failed, 70 unexpected internal error.
+Structured errors print a one-line actionable message instead of a
+traceback.
 """
 
 from __future__ import annotations
@@ -128,12 +140,102 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resilience_from_args(args: argparse.Namespace, default_checkpoint: str):
+    """Build (ResilienceOptions | None, UnitFaultPlan | None) from CLI flags.
+
+    Supervision turns on when any resilience flag is present; a plain
+    ``repro bench`` keeps the legacy fail-fast path so existing callers
+    see identical behaviour.
+    """
+    from repro.faults import UnitFaultPlan
+    from repro.resilience import ResilienceOptions
+
+    fault_plan = None
+    if args.chaos_rate > 0.0 or args.force_fail:
+        fault_plan = UnitFaultPlan(
+            seed=args.chaos_seed,
+            rate=args.chaos_rate,
+            force_fail=UnitFaultPlan.parse_force_fail(args.force_fail or []),
+        )
+    requested = (
+        args.supervise
+        or args.resume
+        or args.no_degrade
+        or args.checkpoint is not None
+        or args.max_retries is not None
+        or args.unit_timeout is not None
+        or args.memory_budget is not None
+        or fault_plan is not None
+    )
+    if not requested:
+        return None, None
+    options = ResilienceOptions(
+        checkpoint_path=args.checkpoint or default_checkpoint,
+        resume=args.resume,
+        max_retries=1 if args.max_retries is None else args.max_retries,
+        unit_timeout_s=args.unit_timeout,
+        memory_budget_mb=args.memory_budget,
+        degrade=not args.no_degrade,
+        seed=args.chaos_seed,
+    )
+    return options, fault_plan
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "resilience", "supervised execution, checkpoint/resume, chaos testing"
+    )
+    group.add_argument("--supervise", action="store_true",
+                       help="run each scene under the supervisor with the "
+                       "degradation ladder (implied by the flags below)")
+    group.add_argument("--resume", action="store_true",
+                       help="continue from the sweep checkpoint; completed "
+                       "scenes are not re-run")
+    group.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="checkpoint file (default: <out>/<artifact>"
+                       ".checkpoint.json)")
+    group.add_argument("--max-retries", type=int, default=None,
+                       dest="max_retries", metavar="N",
+                       help="retries per ladder rung for transient failures "
+                       "(default 1)")
+    group.add_argument("--unit-timeout", type=float, default=None,
+                       dest="unit_timeout", metavar="SECONDS",
+                       help="wall-clock deadline per scene attempt")
+    group.add_argument("--memory-budget", type=float, default=None,
+                       dest="memory_budget", metavar="MB",
+                       help="peak-allocation budget per scene attempt")
+    group.add_argument("--no-degrade", action="store_true", dest="no_degrade",
+                       help="fail the sweep (exit 12) instead of walking the "
+                       "degradation ladder")
+    group.add_argument("--chaos-rate", type=float, default=0.0,
+                       dest="chaos_rate", metavar="P",
+                       help="per-attempt probability of an injected unit fault")
+    group.add_argument("--chaos-seed", type=int, default=0, dest="chaos_seed",
+                       help="seed for injected-fault and backoff schedules")
+    group.add_argument("--force-fail", action="append", default=None,
+                       dest="force_fail", metavar="UNIT[:COUNT]",
+                       help="force scene UNIT to fail its first COUNT "
+                       "attempts (COUNT omitted = always); repeatable")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
     from repro.bench import QUICK_PRESET, run_benchmarks, write_payload
     from repro.bench.harness import FULL_PRESET, check_against_baselines, summarize
 
     preset = QUICK_PRESET if args.quick else FULL_PRESET
-    payload = run_benchmarks(preset, scenes=args.scenes, progress=print)
+    default_checkpoint = os.path.join(
+        args.out, f"BENCH_{preset.name}.checkpoint.json"
+    )
+    options, fault_plan = _resilience_from_args(args, default_checkpoint)
+    payload = run_benchmarks(
+        preset,
+        scenes=args.scenes,
+        progress=print,
+        resilience=options,
+        fault_plan=fault_plan,
+    )
     print(summarize(payload))
     path = write_payload(payload, args.out)
     print(f"wrote {path}")
@@ -146,6 +248,42 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print(f"REGRESSION: {problem}", file=sys.stderr)
             return 1
         print(f"regression check passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.resilience.checkpoint import atomic_write_json
+    from repro.resilience.sweep import (
+        SimulatePreset,
+        run_simulation_sweep,
+        summarize_sweep,
+    )
+
+    scenes = tuple(args.scenes) if args.scenes else tuple(SCENE_CODES)
+    preset = SimulatePreset(
+        name=args.name,
+        scenes=scenes,
+        width=args.size,
+        height=args.size,
+        spp=args.spp,
+        detail=args.detail,
+        sim_rays=args.rays,
+        in_flight=args.in_flight,
+        engine=args.engine,
+    )
+    default_checkpoint = os.path.join(
+        args.out, f"SIM_{preset.name}.checkpoint.json"
+    )
+    options, fault_plan = _resilience_from_args(args, default_checkpoint)
+    payload = run_simulation_sweep(
+        preset, options=options, fault_plan=fault_plan, progress=print
+    )
+    print(summarize_sweep(payload))
+    path = os.path.join(args.out, f"SIM_{preset.name}.json")
+    atomic_write_json(path, payload)
+    print(f"wrote {path}")
     return 0
 
 
@@ -273,6 +411,32 @@ def main(argv: list[str] | None = None) -> int:
                        default=argparse.SUPPRESS,
                        help="collect metrics during the run and embed a "
                        "telemetry section in the BENCH artifact")
+    _add_resilience_args(bench)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="resilient multi-scene predictor sweep, emit SIM_*.json",
+        description="Run the functional predictor simulation across scenes "
+        "under the run supervisor: per-scene checkpointing, retry with "
+        "backoff, and the graceful-degradation ladder.  The SIM_<name>.json "
+        "artifact always carries a partial-results manifest.",
+    )
+    simulate.add_argument("--name", default="simulate",
+                          help="sweep name (artifact is SIM_<name>.json)")
+    simulate.add_argument("--scenes", nargs="+", metavar="CODE",
+                          help="scene codes (default: all scenes)")
+    simulate.add_argument("--size", type=int, default=24)
+    simulate.add_argument("--spp", type=int, default=2)
+    simulate.add_argument("--rays", type=int, default=512,
+                          help="rays simulated per scene")
+    simulate.add_argument("--in-flight", type=int, default=32,
+                          dest="in_flight",
+                          help="delayed-update window for the predictor")
+    simulate.add_argument("--engine", default="wavefront",
+                          help="traversal engine at the top ladder rung")
+    simulate.add_argument("--out", default="results",
+                          help="directory for the SIM_*.json artifact")
+    _add_resilience_args(simulate)
 
     tele = sub.add_parser(
         "telemetry",
@@ -313,6 +477,7 @@ def main(argv: list[str] | None = None) -> int:
         "limit": _cmd_limit,
         "faults": _cmd_faults,
         "bench": _cmd_bench,
+        "simulate": _cmd_simulate,
         "telemetry": _cmd_telemetry,
         "report": _cmd_report,
     }

@@ -19,6 +19,7 @@ from repro.bench.harness import (
     compare_payloads,
     load_payload,
     run_benchmarks,
+    sweep_fingerprint,
     write_payload,
 )
 
@@ -32,5 +33,6 @@ __all__ = [
     "compare_payloads",
     "load_payload",
     "run_benchmarks",
+    "sweep_fingerprint",
     "write_payload",
 ]

@@ -21,6 +21,14 @@ independent* quantities - the speedup ratios (both engines time on the
 same host, so the ratio transfers) and the traversal counters (exact
 functions of seed + scene) - because absolute rays/second differs
 across CI hosts; absolute numbers are recorded for trend-watching only.
+
+Resilient sweeps: passing :class:`~repro.resilience.ResilienceOptions`
+(CLI ``--resume`` / ``--max-retries`` / ``--unit-timeout`` /
+``--no-degrade``) runs each scene as a supervised unit with
+checkpoint/resume, retry with backoff, and the degradation ladder; the
+artifact then gains a ``resilience`` section (attempts, degradations,
+checkpoint hits, and the partial-results manifest).  See
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -35,20 +43,29 @@ import numpy as np
 
 from repro import telemetry
 from repro.bvh import build_bvh
-from repro.core.simulate import simulate_predictor
+from repro.core.simulate import simulate_baseline, simulate_predictor
+from repro.faults.injector import UnitFaultPlan
 from repro.rays import generate_ao_workload
+from repro.resilience import (
+    PartialResultsManifest,
+    ResilienceOptions,
+    RunSupervisor,
+    SweepCheckpoint,
+    UnitEntry,
+)
 from repro.scenes import get_scene
 from repro.trace import TraversalStats, trace_closest_batch, trace_occlusion_batch
 from repro.trace.wavefront import ENGINES
 
 #: Artifact schema identifier; bump on incompatible layout changes.
-#: 2 added the optional ``telemetry`` section (additive - version 1
-#: artifacts remain readable, see :data:`ACCEPTED_SCHEMAS`).
-BENCH_SCHEMA = "repro-bench/2"
+#: 2 added the optional ``telemetry`` section; 3 added the optional
+#: ``resilience`` section (both additive - older artifacts remain
+#: readable, see :data:`ACCEPTED_SCHEMAS`).
+BENCH_SCHEMA = "repro-bench/3"
 
 #: Schema tags :func:`load_payload` accepts.  Baselines written before
-#: the telemetry section existed stay valid.
-ACCEPTED_SCHEMAS = ("repro-bench/1", "repro-bench/2")
+#: the telemetry/resilience sections existed stay valid.
+ACCEPTED_SCHEMAS = ("repro-bench/1", "repro-bench/2", "repro-bench/3")
 
 #: Benchmarks gated by the regression check, in artifact order.
 BENCHMARKS = ("occlusion_trace", "closest_trace", "predictor_sim")
@@ -162,19 +179,32 @@ def _trace_record(
 
 
 def _sim_record(
-    scene_code: str, engine: str, bvh, rays, preset: BenchPreset
+    scene_code: str, engine: str, bvh, rays, preset: BenchPreset,
+    predictor_enabled: bool = True,
 ) -> BenchRecord:
     sub = rays.subset(np.arange(min(preset.sim_rays, len(rays))))
 
-    def run():
-        return simulate_predictor(
-            bvh, sub, in_flight=preset.in_flight, engine=engine
-        )
+    if predictor_enabled:
+        def run():
+            return simulate_predictor(
+                bvh, sub, in_flight=preset.in_flight, engine=engine
+            )
+    else:
+        # The ``predictor_off`` ladder rung: exact occlusion and
+        # traversal traffic from plain full traversal, no table.
+        def run():
+            return simulate_baseline(bvh, sub, engine=engine)
 
     # The simulation trains a fresh table per call, so repeats are
     # independent; time a single run per repeat and keep the best.
     wall, result = _timed(run, preset.repeats)
     n = len(sub)
+    extra = {
+        "verified_rate": round(result.verified_rate, 6),
+        "memory_savings": round(result.memory_savings, 6),
+    }
+    if not predictor_enabled:
+        extra["predictor_disabled"] = 1.0
     return BenchRecord(
         benchmark="predictor_sim",
         scene=scene_code,
@@ -184,11 +214,54 @@ def _sim_record(
         rays_per_sec=round(n / wall, 1) if wall > 0 else float("inf"),
         node_fetches=result.predictor_node_fetches,
         tri_fetches=result.predictor_tri_fetches,
-        extra={
-            "verified_rate": round(result.verified_rate, 6),
-            "memory_savings": round(result.memory_savings, 6),
-        },
+        extra=extra,
     )
+
+
+def _scene_records(
+    preset: BenchPreset,
+    code: str,
+    engines: Sequence[str],
+    say,
+    predictor_enabled: bool = True,
+) -> List[BenchRecord]:
+    """Run the full benchmark matrix for one scene (one sweep *unit*)."""
+    records: List[BenchRecord] = []
+    say(f"[{code}] building scene + BVH (detail={preset.detail})")
+    with telemetry.label_context(scene=code):
+        scene = get_scene(code, detail=preset.detail)
+        bvh = build_bvh(scene.mesh)
+        workload = generate_ao_workload(
+            scene,
+            bvh,
+            width=preset.width,
+            height=preset.height,
+            spp=preset.spp,
+            seed=preset.seed,
+        )
+        rays = workload.rays
+        say(f"[{code}] {len(rays)} AO rays")
+        for benchmark in ("occlusion_trace", "closest_trace"):
+            for engine in engines:
+                rec = _trace_record(
+                    benchmark, code, engine, bvh, rays, preset.repeats
+                )
+                records.append(rec)
+                say(
+                    f"[{code}] {benchmark:16s} {engine:9s} "
+                    f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
+                )
+        for engine in engines:
+            rec = _sim_record(
+                code, engine, bvh, rays, preset,
+                predictor_enabled=predictor_enabled,
+            )
+            records.append(rec)
+            say(
+                f"[{code}] {'predictor_sim':16s} {engine:9s} "
+                f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
+            )
+    return records
 
 
 def run_benchmarks(
@@ -196,6 +269,8 @@ def run_benchmarks(
     engines: Sequence[str] = ENGINES,
     scenes: Optional[Sequence[str]] = None,
     progress=None,
+    resilience: Optional[ResilienceOptions] = None,
+    fault_plan: Optional[UnitFaultPlan] = None,
 ) -> dict:
     """Run the full benchmark matrix for ``preset``.
 
@@ -205,46 +280,134 @@ def run_benchmarks(
         scenes: optional scene-code override (subset runs for quick
             local iteration; the artifact records what actually ran).
         progress: optional callable receiving one-line status strings.
+        resilience: run each scene as a supervised unit with
+            checkpoint/resume, retry, and the degradation ladder; the
+            artifact gains a ``resilience`` section.  None keeps the
+            classic fail-fast behavior.
+        fault_plan: chaos mode - deterministic synthetic unit failures
+            (implies supervision even when ``resilience`` is None).
 
     Returns:
         The artifact payload (JSON-serializable dict).
     """
     say = progress or (lambda msg: None)
     scene_codes = tuple(scenes) if scenes else preset.scenes
+    if resilience is None and fault_plan is None:
+        records: List[BenchRecord] = []
+        for code in scene_codes:
+            records.extend(_scene_records(preset, code, engines, say))
+        return _build_payload(preset, scene_codes, records)
+    return _run_resilient(
+        preset, engines, scene_codes, say,
+        resilience or ResilienceOptions(), fault_plan,
+    )
+
+
+def sweep_fingerprint(
+    preset: BenchPreset,
+    scene_codes: Sequence[str],
+    engines: Sequence[str],
+) -> dict:
+    """The configuration identity a checkpoint pins a sweep to."""
+    return {
+        "kind": "bench",
+        "preset": asdict(preset),
+        "scenes": list(scene_codes),
+        "engines": list(engines),
+    }
+
+
+def _run_resilient(
+    preset: BenchPreset,
+    engines: Sequence[str],
+    scene_codes: Sequence[str],
+    say,
+    options: ResilienceOptions,
+    fault_plan: Optional[UnitFaultPlan],
+) -> dict:
+    """Supervised sweep: each scene is a unit on the degradation ladder.
+
+    Rung semantics for a bench unit:
+
+    * ``wavefront``     - the requested engine set, predictor sim on;
+    * ``scalar``        - scalar engine only (lower peak memory);
+    * ``predictor_off`` - scalar engine, predictor-disabled baseline
+      simulation (:func:`repro.core.simulate.simulate_baseline`);
+    * ``skip``          - no records; the manifest carries the
+      diagnostic.
+    """
+    supervisor = RunSupervisor.from_options(options)
+    manifest = PartialResultsManifest()
+    checkpoint: Optional[SweepCheckpoint] = None
+    if options.checkpoint_path:
+        checkpoint = SweepCheckpoint(
+            options.checkpoint_path,
+            sweep_fingerprint(preset, scene_codes, engines),
+            bench_schema=BENCH_SCHEMA,
+        )
+        if checkpoint.load(resume=options.resume):
+            say(
+                f"resuming from {checkpoint.path} "
+                f"({len(checkpoint.completed)} unit(s) already complete)"
+            )
+
     records: List[BenchRecord] = []
     for code in scene_codes:
-        say(f"[{code}] building scene + BVH (detail={preset.detail})")
-        with telemetry.label_context(scene=code):
-            scene = get_scene(code, detail=preset.detail)
-            bvh = build_bvh(scene.mesh)
-            workload = generate_ao_workload(
-                scene,
-                bvh,
-                width=preset.width,
-                height=preset.height,
-                spp=preset.spp,
-                seed=preset.seed,
+        if checkpoint is not None and checkpoint.has(code):
+            stored = checkpoint.get(code)
+            records.extend(
+                BenchRecord(**rec) for rec in stored.get("records", [])
             )
-            rays = workload.rays
-            say(f"[{code}] {len(rays)} AO rays")
-            for benchmark in ("occlusion_trace", "closest_trace"):
-                for engine in engines:
-                    rec = _trace_record(
-                        benchmark, code, engine, bvh, rays, preset.repeats
-                    )
-                    records.append(rec)
-                    say(
-                        f"[{code}] {benchmark:16s} {engine:9s} "
-                        f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
-                    )
-            for engine in engines:
-                rec = _sim_record(code, engine, bvh, rays, preset)
-                records.append(rec)
-                say(
-                    f"[{code}] {'predictor_sim':16s} {engine:9s} "
-                    f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
+            prior = stored.get("entry", {})
+            manifest.add(UnitEntry(
+                unit=code, status="resumed",
+                rung=prior.get("rung", "wavefront"), attempts=0,
+            ))
+            telemetry.inc_counter("supervisor.checkpoint_hits", unit=code)
+            say(f"[{code}] resumed from checkpoint (not re-run)")
+            continue
+
+        def make_fn(rung: str, code: str = code):
+            if rung == "wavefront":
+                use_engines, predictor_enabled = tuple(engines), True
+            elif rung == "scalar":
+                use_engines, predictor_enabled = ("scalar",), True
+            elif rung == "predictor_off":
+                use_engines, predictor_enabled = ("scalar",), False
+            else:  # pragma: no cover - supervisor never asks for "skip"
+                return None
+
+            def run() -> List[BenchRecord]:
+                if fault_plan is not None:
+                    fault_plan.check(code)
+                return _scene_records(
+                    preset, code, use_engines, say,
+                    predictor_enabled=predictor_enabled,
                 )
-    return _build_payload(preset, scene_codes, records)
+
+            return run
+
+        outcome = supervisor.run_unit(code, make_fn, progress=say)
+        manifest.add(outcome.entry)
+        scene_records = list(outcome.value or [])
+        records.extend(scene_records)
+        if checkpoint is not None:
+            checkpoint.record(code, {
+                "records": [asdict(rec) for rec in scene_records],
+                "entry": outcome.entry.to_dict(),
+            })
+
+    payload = _build_payload(preset, scene_codes, records)
+    payload["resilience"] = {
+        "enabled": True,
+        "options": options.describe(),
+        "supervisor": supervisor.describe(),
+        "manifest": manifest.to_dict(),
+        "checkpoint": checkpoint.describe() if checkpoint else None,
+        "chaos": fault_plan.describe() if fault_plan else None,
+    }
+    say(manifest.summary())
+    return payload
 
 
 def _build_payload(

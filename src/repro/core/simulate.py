@@ -281,6 +281,60 @@ def simulate_predictor(
     )
 
 
+def simulate_baseline(
+    bvh: FlatBVH,
+    rays: RayBatch,
+    engine: str = "scalar",
+) -> SimulationResult:
+    """Predictor-disabled baseline: plain occlusion traversal, no table.
+
+    This is the ``predictor_off`` rung of the resilience degradation
+    ladder (see :mod:`repro.resilience.degrade`): when the functional
+    predictor simulation itself is what keeps failing, a sweep can
+    still report exact per-ray occlusion and traversal traffic from a
+    full traversal.  Predictor-side counters mirror the baseline ones
+    (a disabled predictor saves nothing) and the table counters are
+    zero, so downstream consumers see ``memory_savings == 0`` rather
+    than a hole in the artifact.
+    """
+    resolve_engine(engine)
+    n = len(rays)
+    if engine == "wavefront":
+        hit_tri, counts = wavefront_occlusion_tri_batch(bvh, rays, per_ray=True)
+        nodes = int(counts.node_fetches.sum())
+        tris = int(counts.tri_fetches.sum())
+        hit_mask = hit_tri >= 0
+    else:
+        stats = TraversalStats()
+        hit_mask = np.zeros(n, dtype=bool)
+        for i in range(n):
+            hit_mask[i] = occlusion_any_hit_tri(bvh, rays[i], stats=stats) >= 0
+        nodes = stats.node_fetches
+        tris = stats.tri_fetches
+    hits = int(np.count_nonzero(hit_mask))
+    outcomes = [
+        PredictionOutcome(hit=bool(h), full_node_fetches=0, full_tri_fetches=0)
+        for h in hit_mask
+    ]
+    result = SimulationResult(
+        num_rays=n,
+        predicted=0,
+        verified=0,
+        hits=hits,
+        predictor_node_fetches=nodes,
+        predictor_tri_fetches=tris,
+        baseline_node_fetches=nodes,
+        baseline_tri_fetches=tris,
+        misprediction_node_fetches=0,
+        misprediction_tri_fetches=0,
+        table_lookups=0,
+        table_updates=0,
+        outcomes=outcomes,
+    )
+    publish_simulation_result(result, engine=engine)
+    return result
+
+
 def _finalize_result(
     outcomes: List[PredictionOutcome],
     baseline_nodes: int,

@@ -28,6 +28,7 @@ from repro.faults.injector import (
     FaultInjector,
     FaultyPredictor,
     InjectionRecord,
+    UnitFaultPlan,
 )
 from repro.faults.oracle import (
     DifferentialReport,
@@ -42,5 +43,6 @@ __all__ = [
     "FaultInjector",
     "FaultyPredictor",
     "InjectionRecord",
+    "UnitFaultPlan",
     "run_differential_oracle",
 ]

@@ -16,21 +16,27 @@ The injector models three corruption surfaces:
   triangles and duplicated vertices, the classic OBJ-export defects a
   builder and traverser must tolerate.
 
-Everything is driven by one seeded generator and logged as
+Everything is driven by seeded :class:`numpy.random.Generator` streams
+(no legacy ``numpy.random.*`` global state anywhere) and logged as
 :class:`InjectionRecord` entries, so any failing schedule replays
-exactly from ``FaultConfig(seed=...)``.
+exactly from ``FaultConfig(seed=...)``.  Each corruption surface draws
+from its own child stream spawned from one ``SeedSequence``, so the
+table schedule does not shift when ray or geometry injection also runs
+- fault sequences are reproducible across processes, surface mixes,
+and numpy versions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.predictor import RayPredictor
 from repro.core.table import NODE_INDEX_BITS, PredictorTable
-from repro.errors import InputValidationError
+from repro.errors import InjectedFaultError, InputValidationError
 from repro.geometry.ray import RayBatch
 from repro.geometry.triangle import TriangleMesh
 
@@ -124,13 +130,38 @@ class InjectionRecord:
 
 
 class FaultInjector:
-    """Seeded fault source with a complete injection log."""
+    """Seeded fault source with a complete injection log.
+
+    RNG discipline: one :class:`numpy.random.SeedSequence` per injector,
+    spawned into an independent :class:`numpy.random.Generator` child
+    stream per corruption surface.  Kind selection draws *indices*
+    (``Generator.integers``) rather than ``Generator.choice`` over
+    string arrays, keeping schedules byte-stable across numpy versions.
+    """
+
+    #: Child-stream order (``SeedSequence.spawn`` is order-sensitive;
+    #: this tuple pins it).
+    _SURFACES = ("table", "rays", "geometry")
 
     def __init__(self, config: Optional[FaultConfig] = None, num_nodes: int = 0) -> None:
         self.config = config or FaultConfig()
         self.num_nodes = num_nodes
-        self.rng = np.random.default_rng(self.config.seed)
+        children = np.random.SeedSequence(self.config.seed).spawn(
+            len(self._SURFACES)
+        )
+        self._streams: Dict[str, np.random.Generator] = {
+            surface: np.random.default_rng(child)
+            for surface, child in zip(self._SURFACES, children)
+        }
+        # The table stream doubles as the injector's primary generator
+        # (kept as ``rng`` for back-compat with earlier callers).
+        self.rng = self._streams["table"]
         self.log: List[InjectionRecord] = []
+
+    @staticmethod
+    def _pick(rng: np.random.Generator, kinds: Tuple[str, ...]) -> str:
+        """Uniform kind draw by index (version-stable, pure Generator)."""
+        return kinds[int(rng.integers(len(kinds)))]
 
     # ------------------------------------------------------------------
     def _record(self, surface: str, kind: str, location: str, before, after) -> InjectionRecord:
@@ -158,7 +189,7 @@ class FaultInjector:
         if not slots:
             return None
         set_index, way = slots[int(self.rng.integers(len(slots)))]
-        kind = str(self.rng.choice(self.config.table_kinds))
+        kind = self._pick(self.rng, self.config.table_kinds)
         location = f"set {set_index} way {way}"
 
         if kind == "alias_tag":
@@ -190,13 +221,14 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def perturb_rays(self, rays: RayBatch) -> RayBatch:
         """Return a copy of ``rays`` with ``ray_rate`` of them malformed."""
+        rng = self._streams["rays"]
         origins = rays.origins.copy()
         directions = rays.directions.copy()
         n = len(rays)
-        picked = np.nonzero(self.rng.random(n) < self.config.ray_rate)[0]
+        picked = np.nonzero(rng.random(n) < self.config.ray_rate)[0]
         for i in picked:
-            kind = str(self.rng.choice(self.config.ray_kinds))
-            axis = int(self.rng.integers(3))
+            kind = self._pick(rng, self.config.ray_kinds)
+            axis = int(rng.integers(3))
             if kind == "nan_origin":
                 before = float(origins[i, axis])
                 origins[i, axis] = np.nan
@@ -217,13 +249,14 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def degrade_mesh(self, mesh: TriangleMesh) -> TriangleMesh:
         """Return a copy of ``mesh`` with ``geometry_rate`` bad triangles."""
+        rng = self._streams["geometry"]
         v0 = mesh.v0.copy()
         v1 = mesh.v1.copy()
         v2 = mesh.v2.copy()
         n = len(mesh)
-        picked = np.nonzero(self.rng.random(n) < self.config.geometry_rate)[0]
+        picked = np.nonzero(rng.random(n) < self.config.geometry_rate)[0]
         for i in picked:
-            kind = str(self.rng.choice(self.config.geometry_kinds))
+            kind = self._pick(rng, self.config.geometry_kinds)
             if kind == "zero_area":
                 v1[i] = v0[i]
                 v2[i] = v0[i]
@@ -267,3 +300,94 @@ class FaultyPredictor:
 
     def __getattr__(self, name: str):
         return getattr(self.inner, name)
+
+
+@dataclass
+class UnitFaultPlan:
+    """Deterministic unit-level chaos for resilient sweeps.
+
+    Where :class:`FaultInjector` corrupts *data* (table entries, rays,
+    geometry), this plan injects *unit failures*: before a supervised
+    unit of sweep work runs, :meth:`check` may raise a structured
+    :class:`~repro.errors.InjectedFaultError`, exercising the
+    supervisor's real retry/degrade paths.
+
+    Determinism: each unit gets its own ``Generator`` seeded from
+    ``(seed, crc32(unit name))``, so whether attempt *k* of unit *u*
+    fails is a pure function of the plan's seed - independent of unit
+    ordering, process, or numpy version.  ``force_fail`` entries fail a
+    unit's first ``count`` attempts unconditionally (``count < 0`` means
+    every attempt, driving the unit all the way down the ladder).
+
+    Attributes:
+        seed: seeds the per-unit failure draws.
+        rate: per-attempt failure probability for non-forced units.
+        force_fail: unit name -> number of leading attempts to fail.
+    """
+
+    seed: int = 0
+    rate: float = 0.0
+    force_fail: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise InputValidationError(
+                f"chaos rate must be in [0, 1], got {self.rate}"
+            )
+        self._attempts: Dict[str, int] = {}
+        self._rngs: Dict[str, np.random.Generator] = {}
+        self.injected = 0
+
+    def check(self, unit: str) -> None:
+        """Raise :class:`InjectedFaultError` when this attempt must fail."""
+        attempt = self._attempts.get(unit, 0) + 1
+        self._attempts[unit] = attempt
+        forced = self.force_fail.get(unit)
+        if forced is not None and (forced < 0 or attempt <= forced):
+            self.injected += 1
+            raise InjectedFaultError(
+                f"forced fault in unit {unit} (attempt {attempt})",
+                unit=unit, attempt=attempt,
+            )
+        if self.rate <= 0.0:
+            return
+        rng = self._rngs.get(unit)
+        if rng is None:
+            rng = np.random.default_rng(
+                [self.seed, zlib.crc32(unit.encode("utf-8"))]
+            )
+            self._rngs[unit] = rng
+        if float(rng.random()) < self.rate:
+            self.injected += 1
+            raise InjectedFaultError(
+                f"random fault in unit {unit} (attempt {attempt}, "
+                f"rate {self.rate})",
+                unit=unit, attempt=attempt,
+            )
+
+    def describe(self) -> dict:
+        """JSON-safe form for the artifact's resilience section."""
+        return {
+            "seed": self.seed,
+            "rate": self.rate,
+            "force_fail": dict(self.force_fail),
+            "injected": self.injected,
+        }
+
+    @classmethod
+    def parse_force_fail(cls, specs: Optional[List[str]]) -> Dict[str, int]:
+        """Parse CLI ``UNIT[:COUNT]`` specs (COUNT defaults to -1, always)."""
+        plan: Dict[str, int] = {}
+        for spec in specs or []:
+            unit, _, count = spec.partition(":")
+            if not unit:
+                raise InputValidationError(
+                    f"bad --force-fail spec {spec!r} (expected UNIT[:COUNT])"
+                )
+            try:
+                plan[unit] = int(count) if count else -1
+            except ValueError as exc:
+                raise InputValidationError(
+                    f"bad --force-fail count in {spec!r}: {count!r}"
+                ) from exc
+        return plan

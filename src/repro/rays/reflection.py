@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bvh.nodes import FlatBVH
-from repro.geometry.ray import RayBatch
+from repro.geometry.ray import RayBatch, validate_ray_batch
 from repro.rays.camera import PinholeCamera
 from repro.scenes.scene import Scene
 from repro.trace.traversal import DEFAULT_ENGINE, trace_closest_batch
@@ -53,6 +53,12 @@ def generate_reflection_rays(
     facing = np.einsum("ij,ij->i", normals, incoming)
 
     reflected = incoming - 2.0 * facing[:, None] * normals
-    reflected /= np.linalg.norm(reflected, axis=1, keepdims=True)
+    lengths = np.linalg.norm(reflected, axis=1, keepdims=True)
+    lengths[lengths == 0.0] = 1.0
+    reflected /= lengths
     origins = points + _SURFACE_EPSILON * normals
-    return RayBatch(origins, reflected, t_min=0.0, t_max=np.inf)
+    rays = RayBatch(origins, reflected, t_min=0.0, t_max=np.inf)
+    # Input boundary guard, same as the AO generator: degenerate normals
+    # give NaN or zero-length reflection directions.
+    rays, _ = validate_ray_batch(rays, mode="filter")
+    return rays

@@ -12,12 +12,12 @@ the light distance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.bvh.nodes import FlatBVH
-from repro.geometry.ray import RayBatch
+from repro.geometry.ray import RayBatch, RayBatchValidation, validate_ray_batch
 from repro.rays.camera import PinholeCamera
 from repro.scenes.scene import Scene
 from repro.trace.traversal import DEFAULT_ENGINE, trace_closest_batch
@@ -36,6 +36,7 @@ class ShadowWorkload:
     light: tuple
     width: int
     height: int
+    validation: Optional[RayBatchValidation] = None
 
     def __len__(self) -> int:
         return len(self.rays)
@@ -101,4 +102,13 @@ def generate_shadow_workload(
         origins, directions,
         t_min=0.0, t_max=np.maximum(distances - _LIGHT_EPSILON, 0.0),
     )
-    return ShadowWorkload(rays, hit_idx, light_pos, width, height)
+    pixel_index = hit_idx
+    # Input boundary guard, same as the AO generator: a light sitting
+    # exactly on a surface point yields a zero-length direction, and
+    # degenerate geometry can produce NaN normals.
+    rays, validation = validate_ray_batch(rays, mode="filter")
+    if not validation.ok:
+        pixel_index = pixel_index[validation.kept]
+    return ShadowWorkload(
+        rays, pixel_index, light_pos, width, height, validation=validation
+    )

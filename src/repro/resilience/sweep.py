@@ -1,0 +1,192 @@
+"""Resilient multi-scene predictor-simulation sweeps (``repro simulate``).
+
+``repro bench`` times engines; this sweep runs the *functional*
+predictor simulation (:func:`repro.core.simulate.simulate_predictor`)
+across scenes and reports the paper's headline rates (predicted /
+verified / memory savings) per scene.  Every scene is a supervised unit
+on the degradation ladder, progress checkpoints after each scene, and
+the emitted ``SIM_<name>.json`` artifact always carries a
+partial-results manifest - a sweep with a broken scene still terminates
+with an exit status of 0 and an honest account of what happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.bvh import build_bvh
+from repro.core.simulate import simulate_baseline, simulate_predictor
+from repro.faults.injector import UnitFaultPlan
+from repro.rays import generate_ao_workload
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.degrade import PartialResultsManifest, UnitEntry
+from repro.resilience.supervisor import ResilienceOptions, RunSupervisor
+from repro.scenes import get_scene
+
+#: Artifact schema for ``SIM_<name>.json``.
+SIM_SCHEMA = "repro-sim-sweep/1"
+
+
+@dataclass(frozen=True)
+class SimulatePreset:
+    """Pinned configuration of one simulation sweep."""
+
+    name: str = "simulate"
+    scenes: Tuple[str, ...] = ("SB", "SP", "CK")
+    width: int = 24
+    height: int = 24
+    spp: int = 2
+    seed: int = 1
+    detail: float = 0.5
+    sim_rays: int = 512
+    in_flight: int = 32
+    engine: str = "wavefront"
+
+
+def _scene_result(preset: SimulatePreset, code: str, rung: str) -> dict:
+    """Simulate one scene at one ladder rung; returns a JSON-safe row."""
+    engine = preset.engine if rung == "wavefront" else "scalar"
+    with telemetry.label_context(scene=code):
+        scene = get_scene(code, detail=preset.detail)
+        bvh = build_bvh(scene.mesh)
+        workload = generate_ao_workload(
+            scene, bvh,
+            width=preset.width, height=preset.height,
+            spp=preset.spp, seed=preset.seed,
+        )
+        rays = workload.rays.subset(
+            np.arange(min(preset.sim_rays, len(workload.rays)))
+        )
+        if rung == "predictor_off":
+            result = simulate_baseline(bvh, rays, engine="scalar")
+        else:
+            result = simulate_predictor(
+                bvh, rays, in_flight=preset.in_flight, engine=engine
+            )
+    return {
+        "scene": code,
+        "engine": "scalar" if rung != "wavefront" else engine,
+        "predictor_enabled": rung != "predictor_off",
+        "num_rays": result.num_rays,
+        "predicted_rate": round(result.predicted_rate, 6),
+        "verified_rate": round(result.verified_rate, 6),
+        "hit_rate": round(result.hit_rate, 6),
+        "memory_savings": round(result.memory_savings, 6),
+        "node_savings": round(result.node_savings, 6),
+        "guard_fallbacks": result.guard_fallbacks,
+    }
+
+
+def run_simulation_sweep(
+    preset: SimulatePreset,
+    options: Optional[ResilienceOptions] = None,
+    fault_plan: Optional[UnitFaultPlan] = None,
+    progress=None,
+) -> dict:
+    """Run the sweep; always returns a payload with a manifest.
+
+    The ladder for a simulate unit: the requested engine, then the
+    scalar reference, then the predictor-disabled baseline, then skip.
+    """
+    say = progress or (lambda msg: None)
+    options = options or ResilienceOptions()
+    supervisor = RunSupervisor.from_options(options)
+    manifest = PartialResultsManifest()
+    checkpoint: Optional[SweepCheckpoint] = None
+    if options.checkpoint_path:
+        checkpoint = SweepCheckpoint(
+            options.checkpoint_path,
+            {"kind": "simulate", "preset": asdict(preset)},
+            bench_schema=SIM_SCHEMA,
+        )
+        if checkpoint.load(resume=options.resume):
+            say(
+                f"resuming from {checkpoint.path} "
+                f"({len(checkpoint.completed)} unit(s) already complete)"
+            )
+
+    rows: List[dict] = []
+    for code in preset.scenes:
+        if checkpoint is not None and checkpoint.has(code):
+            stored = checkpoint.get(code)
+            if stored.get("row") is not None:
+                rows.append(stored["row"])
+            prior = stored.get("entry", {})
+            manifest.add(UnitEntry(
+                unit=code, status="resumed",
+                rung=prior.get("rung", "wavefront"), attempts=0,
+            ))
+            telemetry.inc_counter("supervisor.checkpoint_hits", unit=code)
+            say(f"[{code}] resumed from checkpoint (not re-run)")
+            continue
+
+        def make_fn(rung: str, code: str = code):
+            def run() -> dict:
+                if fault_plan is not None:
+                    fault_plan.check(code)
+                return _scene_result(preset, code, rung)
+
+            return run
+
+        outcome = supervisor.run_unit(code, make_fn, progress=say)
+        manifest.add(outcome.entry)
+        if outcome.value is not None:
+            rows.append(outcome.value)
+            say(
+                f"[{code}] verified {outcome.value['verified_rate']:.1%} "
+                f"memory savings {outcome.value['memory_savings']:+.1%}"
+            )
+        if checkpoint is not None:
+            checkpoint.record(code, {
+                "row": outcome.value,
+                "entry": outcome.entry.to_dict(),
+            })
+
+    payload = {
+        "schema": SIM_SCHEMA,
+        "name": preset.name,
+        "preset": asdict(preset),
+        "scenes": list(preset.scenes),
+        "results": rows,
+        "resilience": {
+            "enabled": True,
+            "options": options.describe(),
+            "supervisor": supervisor.describe(),
+            "manifest": manifest.to_dict(),
+            "checkpoint": checkpoint.describe() if checkpoint else None,
+            "chaos": fault_plan.describe() if fault_plan else None,
+        },
+    }
+    say(manifest.summary())
+    return payload
+
+
+def summarize_sweep(payload: dict) -> str:
+    """Short human-readable summary of a ``SIM_*.json`` artifact."""
+    lines = [f"simulation sweep: {payload['name']} ({payload['schema']})"]
+    for row in payload["results"]:
+        tag = "" if row.get("predictor_enabled", True) else "  [predictor off]"
+        lines.append(
+            f"  {row['scene']:4s} {row['engine']:9s} "
+            f"predicted {row['predicted_rate']:6.1%}  "
+            f"verified {row['verified_rate']:6.1%}  "
+            f"memory {row['memory_savings']:+7.1%}{tag}"
+        )
+    counts = payload["resilience"]["manifest"]["counts"]
+    lines.append(
+        f"  units: {counts['ok']} ok, {counts['resumed']} resumed, "
+        f"{counts['degraded']} degraded, {counts['skipped']} skipped"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SIM_SCHEMA",
+    "SimulatePreset",
+    "run_simulation_sweep",
+    "summarize_sweep",
+]

@@ -15,6 +15,7 @@ Two opt-in layers on top of the metrics/tracing pillars:
 
 from __future__ import annotations
 
+import logging
 import sys
 import threading
 import time
@@ -109,13 +110,34 @@ class SamplingProfiler:
         )
         self._thread.start()
 
-    def stop(self) -> None:
-        """Stop sampling (idempotent)."""
+    def stop(self, join_timeout_s: float = 2.0, raise_on_leak: bool = True) -> None:
+        """Stop sampling (idempotent).
+
+        The sampler thread normally exits within one interval.  If it is
+        still alive after ``join_timeout_s`` something is genuinely wrong
+        (the loop is wedged inside ``sys._current_frames``); leaking it
+        silently would let a daemon thread keep mutating ``samples``
+        behind the caller's back, so the leak is reported: a warning is
+        logged and, with ``raise_on_leak`` (the default), a
+        :class:`RuntimeError` is raised.  ``raise_on_leak=False`` keeps
+        the diagnostic but suppresses the exception, for teardown paths
+        that are already unwinding another error.
+        """
         if self._thread is None:
             return
         self._stop.set()
-        self._thread.join(timeout=2.0)
+        thread = self._thread
+        thread.join(timeout=join_timeout_s)
         self._thread = None
+        if thread.is_alive():
+            message = (
+                f"SamplingProfiler thread {thread.name!r} did not stop "
+                f"within {join_timeout_s:.1f}s; daemon thread leaked and "
+                "its samples are no longer trustworthy"
+            )
+            logging.getLogger(__name__).warning(message)
+            if raise_on_leak:
+                raise RuntimeError(message)
 
     @contextmanager
     def profile(self):
@@ -123,7 +145,12 @@ class SamplingProfiler:
         self.start()
         try:
             yield self
-        finally:
+        except BaseException:
+            # Don't let a leak diagnostic mask the workload's own error;
+            # the warning is still logged.
+            self.stop(raise_on_leak=False)
+            raise
+        else:
             self.stop()
 
     # ------------------------------------------------------------------

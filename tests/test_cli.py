@@ -1,5 +1,10 @@
 """Unit tests for the ``python -m repro`` CLI."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.__main__ import main
@@ -113,3 +118,146 @@ class TestCLI:
         finally:
             telemetry.disable()
             telemetry.reset_telemetry()
+
+
+def _run_repro(*argv, cwd=None):
+    """Invoke the installed CLI exactly as a user would: a subprocess.
+
+    Exit codes are an external contract; asserting them in-process via
+    ``main()`` would miss anything ``sys.exit`` / argparse do on the way
+    out.
+    """
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, env=env, cwd=cwd, timeout=300,
+    )
+
+
+class TestExitCodeContract:
+    """Every structured error maps to its documented, stable exit code."""
+
+    def test_every_error_class_has_documented_code(self):
+        import inspect
+
+        import repro.errors as errors_mod
+        from repro.errors import ReproError
+
+        documented = {
+            value
+            for name, value in vars(errors_mod).items()
+            if name.startswith("EXIT_")
+        }
+        for _, cls in inspect.getmembers(errors_mod, inspect.isclass):
+            if issubclass(cls, ReproError):
+                assert cls.exit_code in documented, cls
+                # The docstring table is the user-facing contract; every
+                # constant must appear in it.
+        doc = errors_mod.__doc__
+        for name, value in vars(errors_mod).items():
+            if name.startswith("EXIT_"):
+                assert f"\n{value:<6d}" in doc or f"\n{value}  " in doc, (
+                    f"{name}={value} missing from the exit-code table"
+                )
+
+    def test_exit_code_for_covers_new_classes(self):
+        from repro import errors
+
+        cases = {
+            errors.SceneLoadError("x"): errors.EXIT_SCENE,
+            errors.InputValidationError("x"): errors.EXIT_INPUT,
+            errors.RayValidationError("x"): errors.EXIT_INPUT,
+            errors.TraversalError("x"): errors.EXIT_TRAVERSAL,
+            errors.SimulationStallError("x"): errors.EXIT_WATCHDOG,
+            errors.OracleMismatchError("x"): errors.EXIT_ORACLE,
+            errors.CheckpointError("x"): errors.EXIT_CHECKPOINT,
+            errors.UnitTimeoutError("x"): errors.EXIT_TIMEOUT,
+            errors.MemoryBudgetError("x"): errors.EXIT_MEMORY,
+            errors.InjectedFaultError("x"): errors.EXIT_INJECTED,
+            errors.SweepFailedError("x"): errors.EXIT_SWEEP,
+            KeyError("x"): errors.EXIT_INPUT,
+            ValueError("x"): errors.EXIT_INPUT,
+            RuntimeError("x"): errors.EXIT_INTERNAL,
+        }
+        for exc, expected in cases.items():
+            assert errors.exit_code_for(exc) == expected, exc
+
+    def test_usage_error_exits_2(self):
+        from repro.errors import EXIT_USAGE
+
+        result = _run_repro("frobnicate")
+        assert result.returncode == EXIT_USAGE
+
+    def test_unknown_scene_exits_4(self):
+        from repro.errors import EXIT_INPUT
+
+        result = _run_repro("quick", "ZZ", "--size", "8", "--spp", "1")
+        assert result.returncode == EXIT_INPUT
+        assert result.stderr.startswith("error:")
+        assert "Traceback" not in result.stderr
+
+    def test_invalid_fault_rate_exits_4(self):
+        from repro.errors import EXIT_INPUT
+
+        result = _run_repro("--detail", "0.2", "faults", "SP", "--rate", "7")
+        assert result.returncode == EXIT_INPUT
+
+    def test_no_degrade_forced_failure_exits_12(self, tmp_path):
+        from repro.errors import EXIT_SWEEP
+
+        result = _run_repro(
+            "--detail", "0.2", "simulate", "--scenes", "SB",
+            "--size", "8", "--rays", "32",
+            "--force-fail", "SB", "--no-degrade", "--max-retries", "0",
+            "--out", str(tmp_path),
+        )
+        assert result.returncode == EXIT_SWEEP
+        assert "error:" in result.stderr
+
+    def test_corrupt_checkpoint_on_resume_exits_8(self, tmp_path):
+        from repro.errors import EXIT_CHECKPOINT
+
+        checkpoint = tmp_path / "SIM_simulate.checkpoint.json"
+        checkpoint.write_text("{ not json")
+        result = _run_repro(
+            "--detail", "0.2", "simulate", "--scenes", "SB",
+            "--size", "8", "--rays", "32",
+            "--resume", "--checkpoint", str(checkpoint),
+            "--out", str(tmp_path),
+        )
+        assert result.returncode == EXIT_CHECKPOINT
+        assert "checkpoint" in result.stderr.lower()
+
+    def test_mismatched_fingerprint_on_resume_exits_8(self, tmp_path):
+        from repro.errors import EXIT_CHECKPOINT
+
+        out = tmp_path / "results"
+        first = _run_repro(
+            "--detail", "0.2", "simulate", "--scenes", "SB",
+            "--size", "8", "--rays", "32", "--supervise",
+            "--out", str(out),
+        )
+        assert first.returncode == 0
+        # Same checkpoint, different sweep shape: refuse to mix results.
+        second = _run_repro(
+            "--detail", "0.2", "simulate", "--scenes", "SB", "SP",
+            "--size", "8", "--rays", "32", "--resume",
+            "--out", str(out),
+        )
+        assert second.returncode == EXIT_CHECKPOINT
+
+    def test_successful_sweep_exits_0_with_manifest(self, tmp_path):
+        result = _run_repro(
+            "--detail", "0.2", "simulate", "--scenes", "SB",
+            "--size", "8", "--rays", "32",
+            "--force-fail", "SB:1",
+            "--out", str(tmp_path),
+        )
+        assert result.returncode == 0, result.stderr
+        payload = json.loads((tmp_path / "SIM_simulate.json").read_text())
+        manifest = payload["resilience"]["manifest"]
+        assert manifest["complete"]

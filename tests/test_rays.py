@@ -163,3 +163,29 @@ class TestReflectionRays:
         # tracing a tiny step along them should not re-hit immediately.
         rays = generate_reflection_rays(small_scene, small_bvh, 8, 8)
         assert np.isfinite(rays.origins).all()
+
+
+class TestReflectionValidation:
+    """The reflection generator screens its rays like the AO generator."""
+
+    def test_rays_are_traversal_safe(self, small_scene, small_bvh):
+        rays = generate_reflection_rays(small_scene, small_bvh, 8, 8)
+        assert np.isfinite(rays.origins).all()
+        assert np.isfinite(rays.directions).all()
+        assert (np.linalg.norm(rays.directions, axis=1) > 0).all()
+
+    def test_validation_wired_through_entry_point(
+        self, small_scene, small_bvh, monkeypatch
+    ):
+        import repro.rays.reflection as reflection_mod
+
+        calls = []
+        real = reflection_mod.validate_ray_batch
+
+        def spy(rays, mode="filter"):
+            calls.append(mode)
+            return real(rays, mode)
+
+        monkeypatch.setattr(reflection_mod, "validate_ray_batch", spy)
+        generate_reflection_rays(small_scene, small_bvh, 8, 8)
+        assert calls == ["filter"]

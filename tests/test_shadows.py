@@ -49,3 +49,62 @@ class TestShadowWorkload:
             small_scene, small_bvh, width=8, height=8, light=(4.0, 3.5, 3.0)
         )
         assert wl.light == (4.0, 3.5, 3.0)
+
+
+class TestShadowValidation:
+    """The shadow generator screens its rays like the AO generator does."""
+
+    def test_validation_counters_present(self, workload_factory):
+        workload = workload_factory()
+        assert workload.validation is not None
+        assert workload.validation.total == len(workload) + workload.validation.num_invalid
+
+    @pytest.fixture
+    def workload_factory(self, small_scene, small_bvh):
+        def make(**kwargs):
+            return generate_shadow_workload(
+                small_scene, small_bvh, width=8, height=8, **kwargs
+            )
+
+        return make
+
+    def test_light_on_surface_point_is_filtered(self, small_scene, small_bvh):
+        # A light sitting exactly on a primary hit point yields a
+        # zero-length shadow direction for that pixel; the validation
+        # boundary must drop the ray (and its pixel_index slot), not
+        # hand traversal a zero vector.
+        from repro.rays.camera import PinholeCamera
+        from repro.trace.traversal import trace_closest_batch
+
+        camera = PinholeCamera(small_scene.camera, 8, 8)
+        primary = camera.primary_rays()
+        ts, tris = trace_closest_batch(small_bvh, primary)
+        hit = int(np.nonzero(tris >= 0)[0][0])
+        point = primary.origins[hit] + primary.directions[hit] * ts[hit]
+
+        workload = generate_shadow_workload(
+            small_scene, small_bvh, width=8, height=8,
+            light=tuple(float(c) for c in point),
+        )
+        assert workload.validation.num_invalid >= 1
+        assert hit not in workload.pixel_index
+        assert len(workload.rays) == len(workload.pixel_index)
+        # Everything that survived is traversal-safe.
+        assert np.isfinite(workload.rays.directions).all()
+        assert (np.linalg.norm(workload.rays.directions, axis=1) > 0).all()
+
+    def test_validation_wired_through_entry_point(
+        self, small_scene, small_bvh, monkeypatch
+    ):
+        import repro.rays.shadows as shadows_mod
+
+        calls = []
+        real = shadows_mod.validate_ray_batch
+
+        def spy(rays, mode="filter"):
+            calls.append(mode)
+            return real(rays, mode)
+
+        monkeypatch.setattr(shadows_mod, "validate_ray_batch", spy)
+        generate_shadow_workload(small_scene, small_bvh, width=8, height=8)
+        assert calls == ["filter"]

@@ -14,6 +14,7 @@ from repro.analysis.experiments import (
     SWEEP_SCENES,
     SWEEP_WORKLOAD,
     scaled_predictor_config,
+    sweep_config_metrics,
 )
 from repro.analysis.stats import geometric_mean
 from repro.analysis.tables import format_table
@@ -24,18 +25,22 @@ NODES = [1, 2, 4]
 
 def test_tab06_table_size(benchmark, ctx, report):
     def run():
-        grid = {}
-        for entries in ENTRIES:
-            for nodes in NODES:
-                config = scaled_predictor_config(
-                    num_entries=entries, nodes_per_entry=nodes
-                )
-                speedups = [
-                    ctx.speedup(code, config, SWEEP_WORKLOAD)
-                    for code in SWEEP_SCENES
-                ]
-                grid[(entries, nodes)] = geometric_mean(speedups)
-        return grid
+        configs = {
+            (entries, nodes): scaled_predictor_config(
+                num_entries=entries, nodes_per_entry=nodes
+            )
+            for entries in ENTRIES
+            for nodes in NODES
+        }
+        metrics = sweep_config_metrics(
+            list(configs.values()), SWEEP_SCENES, SWEEP_WORKLOAD, ctx=ctx
+        )
+        return {
+            key: geometric_mean(
+                [metrics[(config, code)].speedup for code in SWEEP_SCENES]
+            )
+            for key, config in configs.items()
+        }
 
     grid = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [

@@ -13,6 +13,7 @@ from repro.analysis.experiments import (
     SWEEP_SCENES,
     SWEEP_WORKLOAD,
     scaled_predictor_config,
+    sweep_config_metrics,
 )
 from repro.analysis.stats import geometric_mean
 from repro.analysis.tables import format_table
@@ -22,22 +23,19 @@ WAYS = [1, 2, 4, 8]
 
 def test_tab07_placement_policy(benchmark, ctx, report):
     def run():
+        configs = {ways: scaled_predictor_config(ways=ways) for ways in WAYS}
+        metrics = sweep_config_metrics(
+            list(configs.values()), SWEEP_SCENES, SWEEP_WORKLOAD, ctx=ctx
+        )
         rows = []
-        for ways in WAYS:
-            config = scaled_predictor_config(ways=ways)
-            speedups, predicted, verified = [], [], []
-            for code in SWEEP_SCENES:
-                base = ctx.baseline(code, SWEEP_WORKLOAD)
-                pred = ctx.predicted(code, config, SWEEP_WORKLOAD)
-                speedups.append(base.cycles / pred.cycles)
-                predicted.append(pred.predicted_rate)
-                verified.append(pred.verified_rate)
+        for ways, config in configs.items():
+            per_scene = [metrics[(config, code)] for code in SWEEP_SCENES]
             rows.append(
                 (
                     {1: "Direct-mapped"}.get(ways, f"{ways}-way"),
-                    geometric_mean(speedups),
-                    sum(predicted) / len(predicted),
-                    sum(verified) / len(verified),
+                    geometric_mean([m.speedup for m in per_scene]),
+                    sum(m.predicted_rate for m in per_scene) / len(per_scene),
+                    sum(m.verified_rate for m in per_scene) / len(per_scene),
                 )
             )
         return rows

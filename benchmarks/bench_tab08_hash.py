@@ -16,6 +16,7 @@ from repro.analysis.experiments import (
     SWEEP_SCENES,
     SWEEP_WORKLOAD,
     scaled_predictor_config,
+    sweep_config_metrics,
 )
 from repro.analysis.stats import geometric_mean
 from repro.analysis.tables import format_table
@@ -25,20 +26,28 @@ DIRECTION_BITS = [1, 3, 5]
 LENGTH_RATIOS = [0.05, 0.15, 0.25, 0.35]
 
 
-def _geo_speedup(ctx, config):
-    return geometric_mean(
-        [ctx.speedup(code, config, SWEEP_WORKLOAD) for code in SWEEP_SCENES]
+def _geo_speedups(ctx, configs):
+    """Geomean sweep-scene speedup for each config key, sharded by
+    ``REPRO_BENCH_JOBS`` through :func:`sweep_config_metrics`."""
+    metrics = sweep_config_metrics(
+        list(configs.values()), SWEEP_SCENES, SWEEP_WORKLOAD, ctx=ctx
     )
+    return {
+        key: geometric_mean(
+            [metrics[(config, code)].speedup for code in SWEEP_SCENES]
+        )
+        for key, config in configs.items()
+    }
 
 
 def test_tab08a_grid_spherical(benchmark, ctx, report):
     def run():
-        grid = {}
-        for ob in ORIGIN_BITS:
-            for db in DIRECTION_BITS:
-                config = scaled_predictor_config(origin_bits=ob, direction_bits=db)
-                grid[(ob, db)] = _geo_speedup(ctx, config)
-        return grid
+        configs = {
+            (ob, db): scaled_predictor_config(origin_bits=ob, direction_bits=db)
+            for ob in ORIGIN_BITS
+            for db in DIRECTION_BITS
+        }
+        return _geo_speedups(ctx, configs)
 
     grid = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [[ob] + [grid[(ob, db)] for db in DIRECTION_BITS] for ob in ORIGIN_BITS]
@@ -68,14 +77,14 @@ def test_tab08a_grid_spherical(benchmark, ctx, report):
 
 def test_tab08b_two_point(benchmark, ctx, report):
     def run():
-        grid = {}
-        for ob in ORIGIN_BITS:
-            for ratio in LENGTH_RATIOS:
-                config = scaled_predictor_config(
-                    hash_function="two_point", origin_bits=ob, length_ratio=ratio
-                )
-                grid[(ob, ratio)] = _geo_speedup(ctx, config)
-        return grid
+        configs = {
+            (ob, ratio): scaled_predictor_config(
+                hash_function="two_point", origin_bits=ob, length_ratio=ratio
+            )
+            for ob in ORIGIN_BITS
+            for ratio in LENGTH_RATIOS
+        }
+        return _geo_speedups(ctx, configs)
 
     grid = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [[ob] + [grid[(ob, r)] for r in LENGTH_RATIOS] for ob in ORIGIN_BITS]

@@ -218,13 +218,33 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
                        "attempts (COUNT omitted = always); repeatable")
 
 
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "parallelism", "process-level sweep sharding and artifact caching"
+    )
+    group.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes sharding the scene units "
+                       "(results are deterministic: the artifact matches "
+                       "--jobs 1 except for timing fields)")
+    group.add_argument("--artifact-cache", default=None, metavar="DIR",
+                       dest="artifact_cache",
+                       help="content-addressed BVH cache directory "
+                       "(also via REPRO_ARTIFACT_CACHE); repeated sweeps "
+                       "and --jobs workers skip redundant SAH builds")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
-    from repro.bench import QUICK_PRESET, run_benchmarks, write_payload
+    from repro.bench import PRESETS, QUICK_PRESET, run_benchmarks, write_payload
     from repro.bench.harness import FULL_PRESET, check_against_baselines, summarize
+    from repro.bvh.cache import configure_artifact_cache
 
-    preset = QUICK_PRESET if args.quick else FULL_PRESET
+    if args.preset:
+        preset = PRESETS[args.preset]
+    else:
+        preset = QUICK_PRESET if args.quick else FULL_PRESET
+    configure_artifact_cache(args.artifact_cache)
     default_checkpoint = os.path.join(
         args.out, f"BENCH_{preset.name}.checkpoint.json"
     )
@@ -235,6 +255,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         progress=print,
         resilience=options,
         fault_plan=fault_plan,
+        jobs=args.jobs,
     )
     print(summarize(payload))
     path = write_payload(payload, args.out)
@@ -254,6 +275,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     import os
 
+    from repro.bvh.cache import configure_artifact_cache
     from repro.resilience.checkpoint import atomic_write_json
     from repro.resilience.sweep import (
         SimulatePreset,
@@ -261,6 +283,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         summarize_sweep,
     )
 
+    configure_artifact_cache(args.artifact_cache)
     scenes = tuple(args.scenes) if args.scenes else tuple(SCENE_CODES)
     preset = SimulatePreset(
         name=args.name,
@@ -278,7 +301,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     options, fault_plan = _resilience_from_args(args, default_checkpoint)
     payload = run_simulation_sweep(
-        preset, options=options, fault_plan=fault_plan, progress=print
+        preset, options=options, fault_plan=fault_plan, progress=print,
+        jobs=args.jobs,
     )
     print(summarize_sweep(payload))
     path = os.path.join(args.out, f"SIM_{preset.name}.json")
@@ -395,6 +419,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke preset (3 scenes, <60s) instead of full")
+    bench.add_argument("--preset", choices=("quick", "full", "predictor"),
+                       default=None,
+                       help="named preset (overrides --quick); 'predictor' "
+                       "times only the predictor simulation on all scenes")
     bench.add_argument("--scenes", nargs="+", metavar="CODE",
                        help="restrict to these scene codes")
     bench.add_argument("--out", default="benchmarks/results",
@@ -411,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
                        default=argparse.SUPPRESS,
                        help="collect metrics during the run and embed a "
                        "telemetry section in the BENCH artifact")
+    _add_parallel_args(bench)
     _add_resilience_args(bench)
 
     simulate = sub.add_parser(
@@ -436,6 +465,7 @@ def main(argv: list[str] | None = None) -> int:
                           help="traversal engine at the top ladder rung")
     simulate.add_argument("--out", default="results",
                           help="directory for the SIM_*.json artifact")
+    _add_parallel_args(simulate)
     _add_resilience_args(simulate)
 
     tele = sub.add_parser(

@@ -8,16 +8,19 @@ statistics helpers live in :mod:`repro.analysis.tables` and
 """
 
 from repro.analysis.experiments import (
+    ConfigMetrics,
     ExperimentContext,
     scaled_gpu_config,
     scaled_predictor_config,
     scaled_workload_params,
+    sweep_config_metrics,
 )
 from repro.analysis.report import build_report, write_report
 from repro.analysis.stats import geometric_mean, pearson_correlation
 from repro.analysis.tables import format_table
 
 __all__ = [
+    "ConfigMetrics",
     "ExperimentContext",
     "build_report",
     "format_table",
@@ -26,5 +29,6 @@ __all__ = [
     "scaled_gpu_config",
     "scaled_predictor_config",
     "scaled_workload_params",
+    "sweep_config_metrics",
     "write_report",
 ]

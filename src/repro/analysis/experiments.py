@@ -29,10 +29,12 @@ original value.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bvh.builder import build_bvh
+from repro.bvh.cache import cached_build_bvh
 from repro.bvh.nodes import FlatBVH
 from repro.core.predictor import PredictorConfig
 from repro.geometry.ray import RayBatch
@@ -107,10 +109,17 @@ class ExperimentContext:
         return self._scenes[key]
 
     def bvh(self, code: str, detail: float = 1.0) -> FlatBVH:
-        """The (cached) SAH BVH for ``code``."""
+        """The (cached) SAH BVH for ``code``.
+
+        Consults the on-disk artifact cache (``REPRO_ARTIFACT_CACHE``,
+        :mod:`repro.bvh.cache`) when one is configured, so parallel
+        sweep workers share builds across processes.
+        """
         key = (code, detail)
         if key not in self._bvhs:
-            self._bvhs[key] = build_bvh(self.scene(code, detail).mesh, method="sah")
+            self._bvhs[key] = cached_build_bvh(
+                self.scene(code, detail).mesh, method="sah"
+            )
         return self._bvhs[key]
 
     def workload(
@@ -191,6 +200,74 @@ class ExperimentContext:
         base = self.baseline(code, params, sort, **gpu_overrides)
         pred = self.predicted(code, predictor, params, sort, **gpu_overrides)
         return base.cycles / pred.cycles
+
+
+@dataclass(frozen=True)
+class ConfigMetrics:
+    """Per-(configuration, scene) sweep metrics used by the ablation tables."""
+
+    speedup: float
+    predicted_rate: float
+    verified_rate: float
+
+
+def _config_metrics(
+    ctx: "ExperimentContext",
+    config: Optional[PredictorConfig],
+    code: str,
+    params: WorkloadParams,
+    sort: bool,
+) -> ConfigMetrics:
+    base = ctx.baseline(code, params, sort)
+    pred = ctx.predicted(code, config, params, sort)
+    return ConfigMetrics(
+        speedup=base.cycles / pred.cycles,
+        predicted_rate=pred.predicted_rate,
+        verified_rate=pred.verified_rate,
+    )
+
+
+def _config_metrics_worker(task) -> ConfigMetrics:
+    """Worker for :func:`sweep_config_metrics` (module-level: picklable).
+
+    Each worker process keeps its own default context, so scenes, BVHs
+    and baseline simulations memoize across the tasks it is handed.
+    """
+    config, code, params, sort = task
+    return _config_metrics(get_default_context(), config, code, params, sort)
+
+
+def sweep_config_metrics(
+    configs: Sequence[Optional[PredictorConfig]],
+    scenes: Sequence[str] = SWEEP_SCENES,
+    params: WorkloadParams = SWEEP_WORKLOAD,
+    sort: bool = False,
+    jobs: Optional[int] = None,
+    ctx: Optional["ExperimentContext"] = None,
+) -> Dict[Tuple[Optional[PredictorConfig], str], ConfigMetrics]:
+    """Metrics for every (config, scene) pair, optionally across processes.
+
+    ``jobs`` defaults to the ``REPRO_BENCH_JOBS`` environment variable
+    (1 when unset).  The timing simulation is deterministic, so the
+    sharded sweep returns exactly the serial results; serial runs reuse
+    the caller's context (or the process-wide default) so pytest-session
+    memoization still applies.
+    """
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+    tasks = [
+        (config, code, params, sort) for config in configs for code in scenes
+    ]
+    if jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            metrics = list(pool.map(_config_metrics_worker, tasks))
+    else:
+        context = ctx if ctx is not None else get_default_context()
+        metrics = [_config_metrics(context, *task) for task in tasks]
+    return {
+        (config, code): metric
+        for (config, code, _, _), metric in zip(tasks, metrics)
+    }
 
 
 _DEFAULT_CONTEXT: Optional[ExperimentContext] = None

@@ -13,6 +13,8 @@ from repro.bench.harness import (
     ACCEPTED_SCHEMAS,
     BENCH_SCHEMA,
     FULL_PRESET,
+    PREDICTOR_PRESET,
+    PRESETS,
     QUICK_PRESET,
     BenchPreset,
     BenchRecord,
@@ -27,6 +29,8 @@ __all__ = [
     "ACCEPTED_SCHEMAS",
     "BENCH_SCHEMA",
     "FULL_PRESET",
+    "PREDICTOR_PRESET",
+    "PRESETS",
     "QUICK_PRESET",
     "BenchPreset",
     "BenchRecord",

@@ -9,10 +9,12 @@ pinned-seed workloads:
 * ``predictor_sim``   - the functional predictor simulation
   (:func:`repro.core.simulate.simulate_predictor`) over a capped prefix.
 
-The JSON artifact (schema ``repro-bench/2``, documented in
-``docs/BENCHMARKING.md``; ``repro-bench/1`` artifacts are still read)
-records wall time, rays/second, and the deterministic traversal
-counters, plus derived wavefront-over-scalar speedups.  When telemetry
+The JSON artifact (schema ``repro-bench/4``, documented in
+``docs/BENCHMARKING.md``; older ``repro-bench/*`` artifacts are still
+read) records wall time, rays/second, and the deterministic traversal
+counters, plus derived wavefront-over-scalar speedups and a
+``predictor_throughput`` section (per-scene simulation rates, counters,
+and engine speedups for the predictor pipeline).  When telemetry
 is switched on (``repro --telemetry bench`` or ``REPRO_TELEMETRY=1``)
 the artifact gains a ``telemetry`` section: the labeled metrics
 snapshot and per-stage span summaries collected during the timed runs
@@ -29,6 +31,17 @@ checkpoint/resume, retry with backoff, and the degradation ladder; the
 artifact then gains a ``resilience`` section (attempts, degradations,
 checkpoint hits, and the partial-results manifest).  See
 ``docs/ROBUSTNESS.md``.
+
+Parallel sweeps: ``jobs > 1`` (CLI ``--jobs N``) shards the scene units
+across worker processes.  Every unit is a pure function of the pinned
+preset, so the payload is byte-identical to a serial run modulo the
+timing fields (``wall_time_s`` / ``rays_per_sec``); checkpoints are
+written by the parent as workers complete, so ``--jobs`` composes with
+``--resume`` after a mid-sweep kill.  The opt-in BVH artifact cache
+(``--artifact-cache DIR``, :mod:`repro.bvh.cache`) lets those workers -
+and repeated sweeps - skip redundant SAH builds; when enabled, its
+identity joins the checkpoint fingerprint so cached and uncached runs
+can never be mixed by ``--resume``.
 """
 
 from __future__ import annotations
@@ -36,13 +49,14 @@ from __future__ import annotations
 import json
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import telemetry
-from repro.bvh import build_bvh
+from repro.bvh.cache import cached_build_bvh, configure_artifact_cache, get_artifact_cache
 from repro.core.simulate import simulate_baseline, simulate_predictor
 from repro.faults.injector import UnitFaultPlan
 from repro.rays import generate_ao_workload
@@ -59,13 +73,16 @@ from repro.trace.wavefront import ENGINES
 
 #: Artifact schema identifier; bump on incompatible layout changes.
 #: 2 added the optional ``telemetry`` section; 3 added the optional
-#: ``resilience`` section (both additive - older artifacts remain
-#: readable, see :data:`ACCEPTED_SCHEMAS`).
-BENCH_SCHEMA = "repro-bench/3"
+#: ``resilience`` section; 4 added the derived ``predictor_throughput``
+#: section and the preset's ``benchmarks`` selector (all additive -
+#: older artifacts remain readable, see :data:`ACCEPTED_SCHEMAS`).
+BENCH_SCHEMA = "repro-bench/4"
 
 #: Schema tags :func:`load_payload` accepts.  Baselines written before
 #: the telemetry/resilience sections existed stay valid.
-ACCEPTED_SCHEMAS = ("repro-bench/1", "repro-bench/2", "repro-bench/3")
+ACCEPTED_SCHEMAS = (
+    "repro-bench/1", "repro-bench/2", "repro-bench/3", "repro-bench/4"
+)
 
 #: Benchmarks gated by the regression check, in artifact order.
 BENCHMARKS = ("occlusion_trace", "closest_trace", "predictor_sim")
@@ -92,6 +109,9 @@ class BenchPreset:
     sim_rays: int
     in_flight: int = 32
     repeats: int = 2
+    #: Which benchmarks to run (subset of :data:`BENCHMARKS`); the
+    #: predictor preset times only the simulation pipeline.
+    benchmarks: Tuple[str, ...] = BENCHMARKS
 
     def describe(self) -> str:
         return (
@@ -124,6 +144,29 @@ FULL_PRESET = BenchPreset(
     detail=1.0,
     sim_rays=2048,
 )
+
+#: Predictor-throughput preset: all seven scenes, simulation only.
+#: This seeds the ``BENCH_predictor.json`` trajectory - the committed
+#: baseline future PRs regress the vectorized predictor pipeline
+#: against (counters and engine speedups, both machine-independent).
+PREDICTOR_PRESET = BenchPreset(
+    name="predictor",
+    scenes=("SB", "SP", "LE", "LR", "FR", "BI", "CK"),
+    width=48,
+    height=48,
+    spp=2,
+    seed=1,
+    detail=0.7,
+    sim_rays=1024,
+    benchmarks=("predictor_sim",),
+)
+
+#: Presets addressable from the CLI (``repro bench --preset NAME``).
+PRESETS = {
+    "quick": QUICK_PRESET,
+    "full": FULL_PRESET,
+    "predictor": PREDICTOR_PRESET,
+}
 
 
 @dataclass
@@ -202,6 +245,8 @@ def _sim_record(
     extra = {
         "verified_rate": round(result.verified_rate, 6),
         "memory_savings": round(result.memory_savings, 6),
+        "predicted_rate": round(result.predicted_rate, 6),
+        "baseline_node_fetches": float(result.baseline_node_fetches),
     }
     if not predictor_enabled:
         extra["predictor_disabled"] = 1.0
@@ -227,10 +272,11 @@ def _scene_records(
 ) -> List[BenchRecord]:
     """Run the full benchmark matrix for one scene (one sweep *unit*)."""
     records: List[BenchRecord] = []
+    selected = tuple(getattr(preset, "benchmarks", BENCHMARKS))
     say(f"[{code}] building scene + BVH (detail={preset.detail})")
     with telemetry.label_context(scene=code):
         scene = get_scene(code, detail=preset.detail)
-        bvh = build_bvh(scene.mesh)
+        bvh = cached_build_bvh(scene.mesh)
         workload = generate_ao_workload(
             scene,
             bvh,
@@ -242,6 +288,8 @@ def _scene_records(
         rays = workload.rays
         say(f"[{code}] {len(rays)} AO rays")
         for benchmark in ("occlusion_trace", "closest_trace"):
+            if benchmark not in selected:
+                continue
             for engine in engines:
                 rec = _trace_record(
                     benchmark, code, engine, bvh, rays, preset.repeats
@@ -251,17 +299,87 @@ def _scene_records(
                     f"[{code}] {benchmark:16s} {engine:9s} "
                     f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
                 )
-        for engine in engines:
-            rec = _sim_record(
-                code, engine, bvh, rays, preset,
+        if "predictor_sim" in selected:
+            for engine in engines:
+                rec = _sim_record(
+                    code, engine, bvh, rays, preset,
+                    predictor_enabled=predictor_enabled,
+                )
+                records.append(rec)
+                say(
+                    f"[{code}] {'predictor_sim':16s} {engine:9s} "
+                    f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
+                )
+    return records
+
+
+def _plain_unit_worker(
+    preset: BenchPreset,
+    code: str,
+    engines: Tuple[str, ...],
+    cache_root: Optional[str],
+) -> List[dict]:
+    """One fail-fast scene unit in a ``--jobs`` worker process."""
+    if cache_root:
+        configure_artifact_cache(cache_root)
+    quiet = lambda msg: None  # noqa: E731 - workers report via the parent
+    return [asdict(rec) for rec in _scene_records(preset, code, engines, quiet)]
+
+
+def _supervised_unit_worker(
+    preset: BenchPreset,
+    code: str,
+    engines: Tuple[str, ...],
+    options: ResilienceOptions,
+    fault_plan: Optional[UnitFaultPlan],
+    cache_root: Optional[str],
+) -> dict:
+    """One supervised scene unit in a ``--jobs`` worker process.
+
+    The worker owns the retry/degradation decisions for its unit (a
+    fresh single-unit :class:`RunSupervisor` built from the same
+    options, so backoff schedules stay seeded per unit and independent
+    of sharding); the parent owns the checkpoint and the manifest.
+    """
+    if cache_root:
+        configure_artifact_cache(cache_root)
+    supervisor = RunSupervisor.from_options(options)
+
+    def make_fn(rung: str):
+        plan = _rung_plan(engines, rung)
+        if plan is None:
+            return None
+        use_engines, predictor_enabled = plan
+
+        def run() -> List[BenchRecord]:
+            if fault_plan is not None:
+                fault_plan.check(code)
+            return _scene_records(
+                preset, code, use_engines, lambda msg: None,
                 predictor_enabled=predictor_enabled,
             )
-            records.append(rec)
-            say(
-                f"[{code}] {'predictor_sim':16s} {engine:9s} "
-                f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
-            )
-    return records
+
+        return run
+
+    outcome = supervisor.run_unit(code, make_fn)
+    return {
+        "records": [asdict(rec) for rec in (outcome.value or [])],
+        "entry": outcome.entry.to_dict(),
+        "supervisor": supervisor.describe(),
+    }
+
+
+def _rung_plan(
+    engines: Sequence[str], rung: str
+) -> Optional[Tuple[Tuple[str, ...], bool]]:
+    """(engines, predictor_enabled) for a bench unit at ``rung``."""
+    if rung == "wavefront":
+        return tuple(engines), True
+    if rung == "scalar":
+        return ("scalar",), True
+    if rung == "predictor_off":
+        return ("scalar",), False
+    return None  # pragma: no cover - supervisor never asks for "skip"
 
 
 def run_benchmarks(
@@ -271,6 +389,7 @@ def run_benchmarks(
     progress=None,
     resilience: Optional[ResilienceOptions] = None,
     fault_plan: Optional[UnitFaultPlan] = None,
+    jobs: int = 1,
 ) -> dict:
     """Run the full benchmark matrix for ``preset``.
 
@@ -286,6 +405,11 @@ def run_benchmarks(
             classic fail-fast behavior.
         fault_plan: chaos mode - deterministic synthetic unit failures
             (implies supervision even when ``resilience`` is None).
+        jobs: worker processes sharding the scene units (1 = in
+            process).  Results are deterministic, so the payload matches
+            a serial run except for the timing fields - though with
+            telemetry enabled, worker-side metrics stay in the workers
+            (parallel timing runs are for throughput, not profiles).
 
     Returns:
         The artifact payload (JSON-serializable dict).
@@ -293,14 +417,48 @@ def run_benchmarks(
     say = progress or (lambda msg: None)
     scene_codes = tuple(scenes) if scenes else preset.scenes
     if resilience is None and fault_plan is None:
-        records: List[BenchRecord] = []
-        for code in scene_codes:
-            records.extend(_scene_records(preset, code, engines, say))
+        if jobs > 1 and len(scene_codes) > 1:
+            records = _run_plain_parallel(
+                preset, engines, scene_codes, say, jobs
+            )
+        else:
+            records = []
+            for code in scene_codes:
+                records.extend(_scene_records(preset, code, engines, say))
         return _build_payload(preset, scene_codes, records)
     return _run_resilient(
         preset, engines, scene_codes, say,
-        resilience or ResilienceOptions(), fault_plan,
+        resilience or ResilienceOptions(), fault_plan, jobs,
     )
+
+
+def _run_plain_parallel(
+    preset: BenchPreset,
+    engines: Sequence[str],
+    scene_codes: Sequence[str],
+    say,
+    jobs: int,
+) -> List[BenchRecord]:
+    """Fail-fast sweep sharded across processes, aggregated in order."""
+    cache = get_artifact_cache()
+    cache_root = cache.root if cache else None
+    workers = min(jobs, len(scene_codes))
+    say(f"sharding {len(scene_codes)} scene unit(s) across {workers} workers")
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            code: pool.submit(
+                _plain_unit_worker, preset, code, tuple(engines), cache_root
+            )
+            for code in scene_codes
+        }
+        records: List[BenchRecord] = []
+        # Aggregate in scene order regardless of completion order, so
+        # the artifact is identical to a serial run's.
+        for code in scene_codes:
+            unit = [BenchRecord(**rec) for rec in futures[code].result()]
+            records.extend(unit)
+            say(f"[{code}] {len(unit)} record(s) from worker")
+    return records
 
 
 def sweep_fingerprint(
@@ -308,13 +466,23 @@ def sweep_fingerprint(
     scene_codes: Sequence[str],
     engines: Sequence[str],
 ) -> dict:
-    """The configuration identity a checkpoint pins a sweep to."""
-    return {
+    """The configuration identity a checkpoint pins a sweep to.
+
+    When the BVH artifact cache is active its identity (enablement +
+    on-disk format version, the key space every content address lives
+    in) is part of the fingerprint: a checkpoint written with the cache
+    on refuses to resume with it off, and vice versa.
+    """
+    fingerprint = {
         "kind": "bench",
         "preset": asdict(preset),
         "scenes": list(scene_codes),
         "engines": list(engines),
     }
+    cache = get_artifact_cache()
+    if cache is not None:
+        fingerprint["artifact_cache"] = cache.fingerprint()
+    return fingerprint
 
 
 def _run_resilient(
@@ -324,6 +492,7 @@ def _run_resilient(
     say,
     options: ResilienceOptions,
     fault_plan: Optional[UnitFaultPlan],
+    jobs: int = 1,
 ) -> dict:
     """Supervised sweep: each scene is a unit on the degradation ladder.
 
@@ -335,6 +504,12 @@ def _run_resilient(
       simulation (:func:`repro.core.simulate.simulate_baseline`);
     * ``skip``          - no records; the manifest carries the
       diagnostic.
+
+    With ``jobs > 1``, units that survive the resume check are sharded
+    across worker processes; each worker supervises its own unit (same
+    ladder, same per-unit seeded backoff), while the parent records
+    checkpoints as workers complete - so a mid-sweep kill still resumes
+    with only the unfinished units.
     """
     supervisor = RunSupervisor.from_options(options)
     manifest = PartialResultsManifest()
@@ -351,51 +526,91 @@ def _run_resilient(
                 f"({len(checkpoint.completed)} unit(s) already complete)"
             )
 
-    records: List[BenchRecord] = []
+    unit_records: Dict[str, List[BenchRecord]] = {}
+    unit_entries: Dict[str, UnitEntry] = {}
+    pending: List[str] = []
     for code in scene_codes:
         if checkpoint is not None and checkpoint.has(code):
             stored = checkpoint.get(code)
-            records.extend(
+            unit_records[code] = [
                 BenchRecord(**rec) for rec in stored.get("records", [])
-            )
+            ]
             prior = stored.get("entry", {})
-            manifest.add(UnitEntry(
+            unit_entries[code] = UnitEntry(
                 unit=code, status="resumed",
                 rung=prior.get("rung", "wavefront"), attempts=0,
-            ))
+            )
             telemetry.inc_counter("supervisor.checkpoint_hits", unit=code)
             say(f"[{code}] resumed from checkpoint (not re-run)")
             continue
+        pending.append(code)
 
-        def make_fn(rung: str, code: str = code):
-            if rung == "wavefront":
-                use_engines, predictor_enabled = tuple(engines), True
-            elif rung == "scalar":
-                use_engines, predictor_enabled = ("scalar",), True
-            elif rung == "predictor_off":
-                use_engines, predictor_enabled = ("scalar",), False
-            else:  # pragma: no cover - supervisor never asks for "skip"
-                return None
-
-            def run() -> List[BenchRecord]:
-                if fault_plan is not None:
-                    fault_plan.check(code)
-                return _scene_records(
-                    preset, code, use_engines, say,
-                    predictor_enabled=predictor_enabled,
+    if jobs > 1 and len(pending) > 1:
+        cache = get_artifact_cache()
+        cache_root = cache.root if cache else None
+        workers = min(jobs, len(pending))
+        say(f"sharding {len(pending)} scene unit(s) across {workers} workers")
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _supervised_unit_worker, preset, code, tuple(engines),
+                    options, fault_plan, cache_root,
+                ): code
+                for code in pending
+            }
+            for future in as_completed(futures):
+                code = futures[future]
+                outcome = future.result()
+                unit_records[code] = [
+                    BenchRecord(**rec) for rec in outcome["records"]
+                ]
+                unit_entries[code] = UnitEntry(**outcome["entry"])
+                for counter, value in outcome["supervisor"].items():
+                    if counter in supervisor.counters:
+                        supervisor.counters[counter] += value
+                supervisor.total_backoff_s += (
+                    outcome["supervisor"]["total_backoff_s"]
                 )
+                # Persist as each worker finishes, not in scene order:
+                # a kill between completions loses only unfinished units.
+                if checkpoint is not None:
+                    checkpoint.record(code, {
+                        "records": outcome["records"],
+                        "entry": outcome["entry"],
+                    })
+                say(f"[{code}] unit complete ({unit_entries[code].status})")
+    else:
+        for code in pending:
+            def make_fn(rung: str, code: str = code):
+                plan = _rung_plan(engines, rung)
+                if plan is None:
+                    return None
+                use_engines, predictor_enabled = plan
 
-            return run
+                def run() -> List[BenchRecord]:
+                    if fault_plan is not None:
+                        fault_plan.check(code)
+                    return _scene_records(
+                        preset, code, use_engines, say,
+                        predictor_enabled=predictor_enabled,
+                    )
 
-        outcome = supervisor.run_unit(code, make_fn, progress=say)
-        manifest.add(outcome.entry)
-        scene_records = list(outcome.value or [])
-        records.extend(scene_records)
-        if checkpoint is not None:
-            checkpoint.record(code, {
-                "records": [asdict(rec) for rec in scene_records],
-                "entry": outcome.entry.to_dict(),
-            })
+                return run
+
+            outcome = supervisor.run_unit(code, make_fn, progress=say)
+            unit_entries[code] = outcome.entry
+            unit_records[code] = list(outcome.value or [])
+            if checkpoint is not None:
+                checkpoint.record(code, {
+                    "records": [asdict(rec) for rec in unit_records[code]],
+                    "entry": outcome.entry.to_dict(),
+                })
+
+    records: List[BenchRecord] = []
+    for code in scene_codes:
+        records.extend(unit_records.get(code, []))
+        if code in unit_entries:
+            manifest.add(unit_entries[code])
 
     payload = _build_payload(preset, scene_codes, records)
     payload["resilience"] = {
@@ -430,7 +645,12 @@ def _build_payload(
         "preset": asdict(preset),
         "scenes": list(scene_codes),
         "results": [asdict(r) for r in records],
-        "derived": {"speedup_wavefront_over_scalar": speedups},
+        "derived": {
+            "speedup_wavefront_over_scalar": speedups,
+            "predictor_throughput": _predictor_throughput(
+                by_key, scene_codes
+            ),
+        },
     }
     if telemetry.enabled():
         from repro.telemetry.tracing import summarize_spans
@@ -442,6 +662,40 @@ def _build_payload(
             "dropped_events": tracer.dropped,
         }
     return payload
+
+
+def _predictor_throughput(
+    by_key: Dict[Tuple[str, str, str], BenchRecord],
+    scene_codes: Sequence[str],
+) -> Dict[str, dict]:
+    """Per-scene predictor-simulation summary (schema 4).
+
+    ``rays_per_sec`` is machine-dependent and recorded for
+    trend-watching; the regression gate uses the engine speedup (both
+    engines time on the same host) and the deterministic rates and
+    counters copied from the simulation's extras.
+    """
+    section: Dict[str, dict] = {}
+    for code in scene_codes:
+        scalar = by_key.get(("predictor_sim", code, "scalar"))
+        wave = by_key.get(("predictor_sim", code, "wavefront"))
+        row: Dict[str, object] = {}
+        if wave is not None:
+            row["rays_per_sec"] = wave.rays_per_sec
+            row["rates"] = {
+                key: wave.extra[key]
+                for key in ("predicted_rate", "verified_rate",
+                            "memory_savings")
+                if key in wave.extra
+            }
+            row["node_fetches"] = wave.node_fetches
+        if scalar is not None and wave is not None and wave.wall_time_s > 0:
+            row["speedup_wavefront_over_scalar"] = round(
+                scalar.wall_time_s / wave.wall_time_s, 3
+            )
+        if row:
+            section[code] = row
+    return section
 
 
 def write_payload(payload: dict, out_dir: str) -> str:
@@ -479,7 +733,13 @@ def compare_payloads(
     * each record's **node/tri fetch counters** may not drift more than
       ``tolerance`` from the baseline (they are deterministic for a
       pinned seed, so any drift is an algorithm change - new traversal
-      logic should re-baseline deliberately, not silently).
+      logic should re-baseline deliberately, not silently);
+    * each scene's **predictor-simulation rates** (predicted / verified
+      / memory savings, from the ``predictor_throughput`` section) may
+      not drift more than ``tolerance`` relative - like the counters,
+      they are exact functions of seed + scene, so this is a
+      correctness gate on the predictor pipeline that transfers across
+      machines.
 
     Returns:
         Human-readable regression messages; empty means the gate passes.
@@ -501,6 +761,32 @@ def compare_payloads(
                 problems.append(
                     f"{benchmark}/{code}: speedup regressed to {cur_value}x "
                     f"(baseline {base_value}x, floor {floor:.2f}x)"
+                )
+
+    base_pred = baseline.get("derived", {}).get("predictor_throughput", {})
+    cur_pred = current.get("derived", {}).get("predictor_throughput", {})
+    for code, base_row in base_pred.items():
+        cur_row = cur_pred.get(code)
+        if cur_row is None:
+            problems.append(
+                f"predictor_throughput/{code}: scene missing from current run"
+            )
+            continue
+        for rate, base_value in base_row.get("rates", {}).items():
+            cur_value = cur_row.get("rates", {}).get(rate)
+            if cur_value is None:
+                problems.append(
+                    f"predictor_throughput/{code}: {rate} missing from "
+                    f"current run (baseline {base_value})"
+                )
+                continue
+            if base_value == 0:
+                continue
+            drift = abs(cur_value - base_value) / abs(base_value)
+            if drift > tolerance:
+                problems.append(
+                    f"predictor_throughput/{code}: {rate} drifted "
+                    f"{drift:.1%} ({base_value} -> {cur_value})"
                 )
 
     cur_records = {
@@ -551,4 +837,12 @@ def summarize(payload: dict) -> str:
             continue
         rendered = "  ".join(f"{code}={value}x" for code, value in per_scene.items())
         lines.append(f"  {benchmark:16s} wavefront speedup: {rendered}")
+    throughput = payload.get("derived", {}).get("predictor_throughput", {})
+    for code, row in throughput.items():
+        rates = row.get("rates", {})
+        lines.append(
+            f"  predictor {code}: {row.get('rays_per_sec', 0):,.0f} rays/s  "
+            f"verified {rates.get('verified_rate', 0.0):.1%}  "
+            f"memory {rates.get('memory_savings', 0.0):+.1%}"
+        )
     return "\n".join(lines)

@@ -9,6 +9,12 @@ form and exposes :meth:`FlatBVH.ancestors` for any Go Up Level.
 """
 
 from repro.bvh.builder import BinnedSAHBuilder, MedianSplitBuilder, build_bvh
+from repro.bvh.cache import (
+    BVHArtifactCache,
+    cached_build_bvh,
+    configure_artifact_cache,
+    get_artifact_cache,
+)
 from repro.bvh.io import load_bvh, save_bvh
 from repro.bvh.lbvh import LBVHBuilder
 from repro.bvh.nodes import NODE_SIZE_BYTES, TRIANGLE_SIZE_BYTES, FlatBVH
@@ -19,13 +25,17 @@ from repro.bvh.validate import validate_bvh
 __all__ = [
     "NODE_SIZE_BYTES",
     "TRIANGLE_SIZE_BYTES",
+    "BVHArtifactCache",
     "BVHStats",
     "BinnedSAHBuilder",
     "FlatBVH",
     "LBVHBuilder",
     "MedianSplitBuilder",
     "build_bvh",
+    "cached_build_bvh",
     "compute_stats",
+    "configure_artifact_cache",
+    "get_artifact_cache",
     "jitter_mesh",
     "load_bvh",
     "refit_bvh",

@@ -26,17 +26,14 @@ import numpy as np
 
 from repro import telemetry
 from repro.bvh.nodes import FlatBVH
+from repro.core.baseline import baseline_record
 from repro.core.predictor import PredictorConfig, RayPredictor
 from repro.errors import TraversalError
 from repro.geometry.ray import RayBatch
 from repro.telemetry.publish import FRACTION_BUCKETS, publish_simulation_result
 from repro.trace.counters import TraversalStats
 from repro.trace.traversal import occlusion_any_hit_tri
-from repro.trace.wavefront import (
-    resolve_engine,
-    wavefront_occlusion_tri_batch,
-    wavefront_verify_batch,
-)
+from repro.trace.wavefront import resolve_engine, wavefront_verify_batch
 
 #: Ray-buffer capacity of the baseline RT unit (8 warps x 32 threads).
 DEFAULT_IN_FLIGHT = 256
@@ -154,7 +151,7 @@ def simulate_predictor(
     in_flight: int = DEFAULT_IN_FLIGHT,
     keep_outcomes: bool = False,
     predictor: Optional[RayPredictor] = None,
-    engine: str = "scalar",
+    engine: str = "wavefront",
 ) -> SimulationResult:
     """Run the functional predictor simulation over ``rays`` in order.
 
@@ -168,13 +165,15 @@ def simulate_predictor(
             (needed by the repacking analysis and some tests).
         predictor: reuse an existing (already warmed) predictor instead
             of building a fresh one - used by the multi-SM experiment.
-        engine: ``"scalar"`` (reference, default - per-ray traversal in
-            exact paper order) or ``"wavefront"`` (vectorized - each
-            window's verifications and fallback traversals run as
-            batches).  Correctness (per-ray occlusion) is identical;
-            traversal-order-dependent statistics such as which triangle
-            trained the table, and therefore downstream predicted /
-            verified rates, may differ slightly between engines.
+        engine: ``"wavefront"`` (vectorized, default - each window runs
+            as array stages: batched hash, batched table probe,
+            wavefront verification, memoized-baseline fallback and
+            batched delayed updates) or ``"scalar"`` (reference -
+            per-ray traversal in exact paper order).  Correctness
+            (per-ray occlusion) is identical; traversal-order-dependent
+            statistics such as which triangle trained the table, and
+            therefore downstream predicted / verified rates, may differ
+            slightly between engines.
 
     Returns:
         A :class:`SimulationResult`; baseline counters come from full
@@ -197,6 +196,10 @@ def simulate_predictor(
     mis_nodes = 0
     mis_tris = 0
     guard_fallbacks = 0
+
+    # Lazily-memoized per-ray baseline: full traversals recorded here
+    # are reused across configurations sharing this (bvh, rays) unit.
+    base = baseline_record(bvh, rays, "scalar", compute=False)
 
     n = len(rays)
     for start in range(0, n, in_flight):
@@ -241,6 +244,12 @@ def simulate_predictor(
                     hit_tri = occlusion_any_hit_tri(bvh, ray, stats=full_stats)
                     outcome.full_node_fetches = full_stats.node_fetches
                     outcome.full_tri_fetches = full_stats.tri_fetches
+                    # The fallback *is* this ray's baseline traversal;
+                    # memoize it for later configurations.
+                    base.record(
+                        i, hit_tri,
+                        full_stats.node_fetches, full_stats.tri_fetches,
+                    )
                     if outcome.predicted:
                         mis_nodes += outcome.verify_node_fetches
                         mis_tris += outcome.verify_tri_fetches
@@ -250,12 +259,18 @@ def simulate_predictor(
                     pending.append((ray_hash, hit_tri))
 
                 # Baseline bookkeeping: for verified rays the full traversal
-                # never ran, so measure it separately (oracle-free baseline).
+                # never ran, so measure it separately (oracle-free baseline,
+                # memoized per ray across configurations).
                 if outcome.verified:
-                    base_stats = TraversalStats()
-                    occlusion_any_hit_tri(bvh, ray, stats=base_stats)
-                    baseline_nodes += base_stats.node_fetches
-                    baseline_tris += base_stats.tri_fetches
+                    if not base.known[i]:
+                        base_stats = TraversalStats()
+                        base_tri = occlusion_any_hit_tri(bvh, ray, stats=base_stats)
+                        base.record(
+                            i, base_tri,
+                            base_stats.node_fetches, base_stats.tri_fetches,
+                        )
+                    baseline_nodes += int(base.node_fetches[i])
+                    baseline_tris += int(base.tri_fetches[i])
                 else:
                     baseline_nodes += outcome.full_node_fetches
                     baseline_tris += outcome.full_tri_fetches
@@ -300,10 +315,10 @@ def simulate_baseline(
     resolve_engine(engine)
     n = len(rays)
     if engine == "wavefront":
-        hit_tri, counts = wavefront_occlusion_tri_batch(bvh, rays, per_ray=True)
-        nodes = int(counts.node_fetches.sum())
-        tris = int(counts.tri_fetches.sum())
-        hit_mask = hit_tri >= 0
+        base = baseline_record(bvh, rays, "wavefront")
+        nodes = int(base.node_fetches.sum())
+        tris = int(base.tri_fetches.sum())
+        hit_mask = base.hit_tri >= 0
     else:
         stats = TraversalStats()
         hit_mask = np.zeros(n, dtype=bool)
@@ -384,119 +399,148 @@ def _simulate_wavefront(
     in_flight: int,
     keep_outcomes: bool,
 ) -> SimulationResult:
-    """Wavefront form of the functional simulation.
+    """Wavefront form of the functional simulation: array stages only.
 
-    Each ``in_flight`` window becomes three batched traversals instead of
-    up to ``3 x in_flight`` scalar ones:
+    One batched full-occlusion pass per *stream* (memoized per
+    ``(bvh, rays)`` across configurations, see
+    :mod:`repro.core.baseline`) serves both the fallback results of
+    every unverified ray and the baseline bookkeeping of every window -
+    per-ray wavefront results are independent of batch composition, so
+    the whole-stream record is bit-identical to per-window fallback and
+    baseline passes.  Each ``in_flight`` window then runs as pure array
+    stages:
 
-    1. a verification wavefront seeded with every predicted ray's own
-       entry nodes (:func:`wavefront_verify_batch` - rays predicted to
-       the same node share one active list);
-    2. a full-traversal wavefront for the rays that were not verified
-       (mispredictions and unpredicted rays);
-    3. a baseline wavefront for the verified rays, whose full traversal
-       never ran but whose cost the baseline bookkeeping needs.
+    1. batched table probe over the window's hash vector
+       (:meth:`~repro.core.predictor.RayPredictor.predict_batch`);
+    2. one verification wavefront seeded from the probe's ``(nodes,
+       counts)`` arrays (:func:`wavefront_verify_batch`);
+    3. vectorized policy feedback for verified rays
+       (``confirm_batch``) and vectorized delayed training
+       (``train_batch``) when the window drains.
 
-    Table semantics are unchanged: lookups see the window-start state and
-    updates commit when the window drains.  Within a window the batched
-    path performs all lookups before any policy feedback (``confirm``),
-    whereas the scalar path interleaves them per ray - correctness is
-    unaffected, but replacement-policy state (and therefore downstream
-    prediction rates) can diverge slightly between engines.
+    Table semantics are unchanged: lookups see the window-start state
+    and updates commit when the window drains.  The batched kernels are
+    order-equivalent to the per-ray probes, so results match the
+    previous per-ray wavefront path exactly.  A predictor that must
+    observe individual probes (``supports_batch`` false, e.g. the fault
+    injector's proxy) drops to per-ray probing with identical
+    semantics.
     """
-    outcomes: List[PredictionOutcome] = []
-    baseline_nodes = 0
-    baseline_tris = 0
-    mis_nodes = 0
-    mis_tris = 0
+    n = len(rays)
+    base = baseline_record(bvh, rays, "wavefront")
+    use_batch = bool(getattr(pred, "supports_batch", False))
+
+    predicted = np.zeros(n, dtype=bool)
+    verified = np.zeros(n, dtype=bool)
+    hit = np.zeros(n, dtype=bool)
+    predicted_nodes = np.zeros(n, dtype=np.int64)
+    verify_nf = np.zeros(n, dtype=np.int64)
+    verify_tf = np.zeros(n, dtype=np.int64)
+    full_nf = np.zeros(n, dtype=np.int64)
+    full_tf = np.zeros(n, dtype=np.int64)
     guard_fallbacks = 0
 
-    n = len(rays)
     for start in range(0, n, in_flight):
         stop = min(start + in_flight, n)
         m = stop - start
+        w = slice(start, stop)
         sub = rays.subset(np.arange(start, stop))
-        window = [PredictionOutcome() for _ in range(m)]
+        whashes = hashes[start:stop]
 
-        preds: List[Optional[List[int]]] = []
         with telemetry.span("predictor.lookup", engine="wavefront", rays=m):
-            for j in range(m):
-                nodes = pred.predict(int(hashes[start + j]))
-                if nodes:
-                    window[j].predicted = True
-                    window[j].predicted_nodes = len(nodes)
-                    preds.append(nodes)
-                else:
-                    preds.append(None)
+            if use_batch:
+                seed_nodes, seed_counts = pred.predict_batch(whashes)
+                seeds = (seed_nodes, seed_counts)
+                predicted[w] = seed_counts > 0
+                predicted_nodes[w] = seed_counts
+            else:
+                preds: List[Optional[List[int]]] = []
+                for j in range(m):
+                    nodes = pred.predict(int(whashes[j]))
+                    preds.append(nodes if nodes else None)
+                    if nodes:
+                        predicted[start + j] = True
+                        predicted_nodes[start + j] = len(nodes)
+                seeds = preds
         if telemetry.enabled() and m:
             telemetry.observe(
                 "predictor.window_predicted_fraction",
-                sum(1 for w in window if w.predicted) / m,
+                float(predicted[w].sum()) / m,
                 buckets=FRACTION_BUCKETS, engine="wavefront",
             )
 
         with telemetry.span("predictor.verify", engine="wavefront", rays=m):
             ver_tri, ver_counts, guard_mask = wavefront_verify_batch(
-                bvh, sub, preds
+                bvh, sub, seeds
             )
         guard_fallbacks += int(np.count_nonzero(guard_mask))
-        verified = ver_tri >= 0
-        hit_tri = np.full(m, -1, dtype=np.int64)
-        hit_tri[verified] = ver_tri[verified]
-        for j in range(m):
-            if window[j].predicted:
-                window[j].verify_node_fetches = int(ver_counts.node_fetches[j])
-                window[j].verify_tri_fetches = int(ver_counts.tri_fetches[j])
-        for j in np.nonzero(verified)[0]:
-            window[j].verified = True
-            # Policy feedback: this stored node was useful.
-            pred.confirm(int(hashes[start + j]), pred.trained_node_for(int(ver_tri[j])))
+        win_verified = ver_tri >= 0
+        verified[w] = win_verified
+        verify_nf[w] = ver_counts.node_fetches
+        verify_tf[w] = ver_counts.tri_fetches
 
-        # Full traversal for every unverified ray (misprediction restart
-        # or no prediction), as one wavefront.
-        unverified = np.nonzero(~verified)[0]
-        if unverified.size:
-            with telemetry.span(
-                "predictor.fallback", engine="wavefront",
-                rays=int(unverified.size),
-            ):
-                full_tri, full_counts = wavefront_occlusion_tri_batch(
-                    bvh, sub.subset(unverified), per_ray=True
+        # Fallback for unverified rays (misprediction restart or no
+        # prediction) served from the memoized whole-stream baseline.
+        win_hit_tri = np.where(win_verified, ver_tri, base.hit_tri[w])
+        full_nf[w] = np.where(win_verified, 0, base.node_fetches[w])
+        full_tf[w] = np.where(win_verified, 0, base.tri_fetches[w])
+        hit[w] = win_hit_tri >= 0
+
+        # Policy feedback: these stored nodes were useful.
+        vidx = np.nonzero(win_verified)[0]
+        if vidx.size:
+            if use_batch:
+                pred.confirm_batch(
+                    whashes[vidx], pred.trained_nodes_batch(ver_tri[vidx])
                 )
-            hit_tri[unverified] = full_tri
-            for k, j in enumerate(unverified):
-                window[j].full_node_fetches = int(full_counts.node_fetches[k])
-                window[j].full_tri_fetches = int(full_counts.tri_fetches[k])
-                if window[j].predicted:
-                    mis_nodes += window[j].verify_node_fetches
-                    mis_tris += window[j].verify_tri_fetches
-            baseline_nodes += int(full_counts.node_fetches.sum())
-            baseline_tris += int(full_counts.tri_fetches.sum())
-
-        # Baseline bookkeeping for verified rays: their full traversal
-        # never ran, so measure it separately (oracle-free baseline).
-        verified_idx = np.nonzero(verified)[0]
-        if verified_idx.size:
-            with telemetry.span(
-                "predictor.baseline", engine="wavefront",
-                rays=int(verified_idx.size),
-            ):
-                _, base_counts = wavefront_occlusion_tri_batch(
-                    bvh, sub.subset(verified_idx), per_ray=True
-                )
-            baseline_nodes += int(base_counts.node_fetches.sum())
-            baseline_tris += int(base_counts.tri_fetches.sum())
-
-        for j in range(m):
-            window[j].hit = bool(hit_tri[j] >= 0)
-        outcomes.extend(window)
+            else:
+                for j in vidx:
+                    pred.confirm(
+                        int(whashes[j]),
+                        pred.trained_node_for(int(ver_tri[j])),
+                    )
 
         # Updates from this window commit only after the window drains.
-        for j in range(m):
-            if hit_tri[j] >= 0:
-                pred.train(int(hashes[start + j]), int(hit_tri[j]))
+        hidx = np.nonzero(win_hit_tri >= 0)[0]
+        if hidx.size:
+            if use_batch:
+                pred.train_batch(whashes[hidx], win_hit_tri[hidx])
+            else:
+                for j in hidx:
+                    pred.train(int(whashes[j]), int(win_hit_tri[j]))
 
-    return _finalize_result(
-        outcomes, baseline_nodes, baseline_tris, mis_nodes, mis_tris,
-        guard_fallbacks, keep_outcomes, engine="wavefront",
+    mis_mask = predicted & ~verified
+    outcomes: Optional[List[PredictionOutcome]] = None
+    if keep_outcomes:
+        outcomes = [
+            PredictionOutcome(
+                predicted=bool(predicted[i]),
+                verified=bool(verified[i]),
+                hit=bool(hit[i]),
+                predicted_nodes=int(predicted_nodes[i]),
+                verify_node_fetches=int(verify_nf[i]),
+                verify_tri_fetches=int(verify_tf[i]),
+                full_node_fetches=int(full_nf[i]),
+                full_tri_fetches=int(full_tf[i]),
+            )
+            for i in range(n)
+        ]
+    result = SimulationResult(
+        num_rays=n,
+        predicted=int(predicted.sum()),
+        verified=int(verified.sum()),
+        hits=int(hit.sum()),
+        predictor_node_fetches=int(verify_nf.sum() + full_nf.sum()),
+        predictor_tri_fetches=int(verify_tf.sum() + full_tf.sum()),
+        baseline_node_fetches=int(base.node_fetches.sum()),
+        baseline_tri_fetches=int(base.tri_fetches.sum()),
+        misprediction_node_fetches=int(verify_nf[mis_mask].sum()),
+        misprediction_tri_fetches=int(verify_tf[mis_mask].sum()),
+        # One lookup per ray; one update per hitting ray.
+        table_lookups=n,
+        table_updates=int(hit.sum()),
+        outcomes=outcomes,
+        guard_fallbacks=guard_fallbacks,
     )
+    publish_simulation_result(result, engine="wavefront")
+    return result

@@ -278,6 +278,11 @@ class FaultyPredictor:
     unchanged.
     """
 
+    #: The proxy must observe every individual lookup to race corruption
+    #: against it, so the batched window pipeline is disabled: the
+    #: simulation engines fall back to per-ray ``predict`` calls.
+    supports_batch = False
+
     def __init__(self, predictor: RayPredictor, injector: FaultInjector) -> None:
         self.inner = predictor
         self.injector = injector

@@ -12,13 +12,14 @@ with an exit status of 0 and an honest account of what happened.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro import telemetry
-from repro.bvh import build_bvh
+from repro.bvh.cache import cached_build_bvh, configure_artifact_cache, get_artifact_cache
 from repro.core.simulate import simulate_baseline, simulate_predictor
 from repro.faults.injector import UnitFaultPlan
 from repro.rays import generate_ao_workload
@@ -52,7 +53,7 @@ def _scene_result(preset: SimulatePreset, code: str, rung: str) -> dict:
     engine = preset.engine if rung == "wavefront" else "scalar"
     with telemetry.label_context(scene=code):
         scene = get_scene(code, detail=preset.detail)
-        bvh = build_bvh(scene.mesh)
+        bvh = cached_build_bvh(scene.mesh)
         workload = generate_ao_workload(
             scene, bvh,
             width=preset.width, height=preset.height,
@@ -81,16 +82,62 @@ def _scene_result(preset: SimulatePreset, code: str, rung: str) -> dict:
     }
 
 
+def sim_fingerprint(preset: SimulatePreset) -> dict:
+    """The configuration identity a checkpoint pins a sweep to.
+
+    Mirrors :func:`repro.bench.harness.sweep_fingerprint`: when the BVH
+    artifact cache is active, its identity joins the fingerprint so
+    cached and uncached runs can never be mixed by ``--resume``.
+    """
+    fingerprint = {"kind": "simulate", "preset": asdict(preset)}
+    cache = get_artifact_cache()
+    if cache is not None:
+        fingerprint["artifact_cache"] = cache.fingerprint()
+    return fingerprint
+
+
+def _supervised_unit_worker(
+    preset: SimulatePreset,
+    code: str,
+    options: ResilienceOptions,
+    fault_plan: Optional[UnitFaultPlan],
+    cache_root: Optional[str],
+) -> dict:
+    """One supervised scene unit in a ``--jobs`` worker process."""
+    if cache_root:
+        configure_artifact_cache(cache_root)
+    supervisor = RunSupervisor.from_options(options)
+
+    def make_fn(rung: str):
+        def run() -> dict:
+            if fault_plan is not None:
+                fault_plan.check(code)
+            return _scene_result(preset, code, rung)
+
+        return run
+
+    outcome = supervisor.run_unit(code, make_fn)
+    return {
+        "row": outcome.value,
+        "entry": outcome.entry.to_dict(),
+        "supervisor": supervisor.describe(),
+    }
+
+
 def run_simulation_sweep(
     preset: SimulatePreset,
     options: Optional[ResilienceOptions] = None,
     fault_plan: Optional[UnitFaultPlan] = None,
     progress=None,
+    jobs: int = 1,
 ) -> dict:
     """Run the sweep; always returns a payload with a manifest.
 
     The ladder for a simulate unit: the requested engine, then the
     scalar reference, then the predictor-disabled baseline, then skip.
+    With ``jobs > 1``, non-resumed units shard across worker processes
+    (each supervising its own unit); the parent checkpoints them as
+    they complete, so ``--jobs`` composes with ``--resume``.
     """
     say = progress or (lambda msg: None)
     options = options or ResilienceOptions()
@@ -100,7 +147,7 @@ def run_simulation_sweep(
     if options.checkpoint_path:
         checkpoint = SweepCheckpoint(
             options.checkpoint_path,
-            {"kind": "simulate", "preset": asdict(preset)},
+            sim_fingerprint(preset),
             bench_schema=SIM_SCHEMA,
         )
         if checkpoint.load(resume=options.resume):
@@ -109,42 +156,84 @@ def run_simulation_sweep(
                 f"({len(checkpoint.completed)} unit(s) already complete)"
             )
 
-    rows: List[dict] = []
+    unit_rows: Dict[str, Optional[dict]] = {}
+    unit_entries: Dict[str, UnitEntry] = {}
+    pending: List[str] = []
     for code in preset.scenes:
         if checkpoint is not None and checkpoint.has(code):
             stored = checkpoint.get(code)
-            if stored.get("row") is not None:
-                rows.append(stored["row"])
+            unit_rows[code] = stored.get("row")
             prior = stored.get("entry", {})
-            manifest.add(UnitEntry(
+            unit_entries[code] = UnitEntry(
                 unit=code, status="resumed",
                 rung=prior.get("rung", "wavefront"), attempts=0,
-            ))
+            )
             telemetry.inc_counter("supervisor.checkpoint_hits", unit=code)
             say(f"[{code}] resumed from checkpoint (not re-run)")
             continue
+        pending.append(code)
 
-        def make_fn(rung: str, code: str = code):
-            def run() -> dict:
-                if fault_plan is not None:
-                    fault_plan.check(code)
-                return _scene_result(preset, code, rung)
+    if jobs > 1 and len(pending) > 1:
+        cache = get_artifact_cache()
+        cache_root = cache.root if cache else None
+        workers = min(jobs, len(pending))
+        say(f"sharding {len(pending)} scene unit(s) across {workers} workers")
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _supervised_unit_worker, preset, code, options,
+                    fault_plan, cache_root,
+                ): code
+                for code in pending
+            }
+            for future in as_completed(futures):
+                code = futures[future]
+                outcome = future.result()
+                unit_rows[code] = outcome["row"]
+                unit_entries[code] = UnitEntry(**outcome["entry"])
+                for counter, value in outcome["supervisor"].items():
+                    if counter in supervisor.counters:
+                        supervisor.counters[counter] += value
+                supervisor.total_backoff_s += (
+                    outcome["supervisor"]["total_backoff_s"]
+                )
+                if checkpoint is not None:
+                    checkpoint.record(code, {
+                        "row": outcome["row"],
+                        "entry": outcome["entry"],
+                    })
+                say(f"[{code}] unit complete ({unit_entries[code].status})")
+    else:
+        for code in pending:
+            def make_fn(rung: str, code: str = code):
+                def run() -> dict:
+                    if fault_plan is not None:
+                        fault_plan.check(code)
+                    return _scene_result(preset, code, rung)
 
-            return run
+                return run
 
-        outcome = supervisor.run_unit(code, make_fn, progress=say)
-        manifest.add(outcome.entry)
-        if outcome.value is not None:
-            rows.append(outcome.value)
-            say(
-                f"[{code}] verified {outcome.value['verified_rate']:.1%} "
-                f"memory savings {outcome.value['memory_savings']:+.1%}"
-            )
-        if checkpoint is not None:
-            checkpoint.record(code, {
-                "row": outcome.value,
-                "entry": outcome.entry.to_dict(),
-            })
+            outcome = supervisor.run_unit(code, make_fn, progress=say)
+            unit_entries[code] = outcome.entry
+            unit_rows[code] = outcome.value
+            if outcome.value is not None:
+                say(
+                    f"[{code}] verified {outcome.value['verified_rate']:.1%} "
+                    f"memory savings {outcome.value['memory_savings']:+.1%}"
+                )
+            if checkpoint is not None:
+                checkpoint.record(code, {
+                    "row": outcome.value,
+                    "entry": outcome.entry.to_dict(),
+                })
+
+    rows: List[dict] = []
+    for code in preset.scenes:
+        row = unit_rows.get(code)
+        if row is not None:
+            rows.append(row)
+        if code in unit_entries:
+            manifest.add(unit_entries[code])
 
     payload = {
         "schema": SIM_SCHEMA,
@@ -188,5 +277,6 @@ __all__ = [
     "SIM_SCHEMA",
     "SimulatePreset",
     "run_simulation_sweep",
+    "sim_fingerprint",
     "summarize_sweep",
 ]

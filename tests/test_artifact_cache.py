@@ -1,0 +1,132 @@
+"""Content-addressed BVH artifact cache: keys, atomicity, resilience."""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.bvh import build_bvh
+from repro.bvh.cache import (
+    ARTIFACT_CACHE_ENV,
+    BVHArtifactCache,
+    cached_build_bvh,
+    configure_artifact_cache,
+    get_artifact_cache,
+    mesh_digest,
+)
+from repro.bvh.io import FORMAT_VERSION
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_cache():
+    """Every test starts and ends with the cache deconfigured."""
+    configure_artifact_cache(None)
+    yield
+    configure_artifact_cache(None)
+
+
+def _assert_same_tree(a, b):
+    assert np.array_equal(a.lo, b.lo)
+    assert np.array_equal(a.hi, b.hi)
+    assert np.array_equal(a.left, b.left)
+    assert np.array_equal(a.right, b.right)
+    assert np.array_equal(a.first_tri, b.first_tri)
+    assert np.array_equal(a.tri_count, b.tri_count)
+    assert np.array_equal(a.tri_indices, b.tri_indices)
+
+
+class TestRoundtrip:
+    def test_miss_then_hit_returns_equal_tree(self, tmp_path, small_scene):
+        cache = BVHArtifactCache(str(tmp_path))
+        first = cache.get_or_build(small_scene.mesh)
+        second = cache.get_or_build(small_scene.mesh)
+        assert (cache.misses, cache.hits) == (1, 1)
+        _assert_same_tree(first, second)
+
+    def test_cached_tree_matches_plain_build(self, tmp_path, small_scene):
+        cache = BVHArtifactCache(str(tmp_path))
+        cache.get_or_build(small_scene.mesh)
+        # A second cache object over the same directory hits cold.
+        reloaded = BVHArtifactCache(str(tmp_path)).get_or_build(small_scene.mesh)
+        _assert_same_tree(reloaded, build_bvh(small_scene.mesh, method="sah"))
+
+    def test_no_temp_files_left_behind(self, tmp_path, small_scene):
+        cache = BVHArtifactCache(str(tmp_path))
+        cache.get_or_build(small_scene.mesh)
+        assert not glob.glob(os.path.join(str(tmp_path), "*.tmp.npz"))
+        assert not glob.glob(os.path.join(str(tmp_path), ".*"))
+
+
+class TestKeying:
+    def test_key_covers_every_build_input(self, tmp_path, small_scene, tiny_mesh):
+        cache = BVHArtifactCache(str(tmp_path))
+        base = cache.key(small_scene.mesh)
+        assert cache.key(small_scene.mesh) == base  # deterministic
+        assert cache.key(small_scene.mesh, method="median") != base
+        assert cache.key(small_scene.mesh, max_leaf_size=8) != base
+        assert cache.key(tiny_mesh) != base
+
+    def test_mesh_digest_tracks_content(self, tiny_mesh):
+        from repro.geometry.triangle import TriangleMesh
+
+        moved = TriangleMesh(tiny_mesh.v0 + 1.0, tiny_mesh.v1 + 1.0,
+                             tiny_mesh.v2 + 1.0)
+        assert mesh_digest(moved) != mesh_digest(tiny_mesh)
+
+    def test_fingerprint_pins_format_version_not_path(self, tmp_path):
+        fp = BVHArtifactCache(str(tmp_path)).fingerprint()
+        assert fp == {"enabled": True, "format_version": FORMAT_VERSION}
+        assert str(tmp_path) not in str(fp)
+
+
+class TestCorruption:
+    def test_unreadable_entry_is_miss_and_deleted(self, tmp_path, small_scene):
+        cache = BVHArtifactCache(str(tmp_path))
+        cache.get_or_build(small_scene.mesh)
+        key = cache.key(small_scene.mesh)
+        with open(cache.path(key), "wb") as handle:
+            handle.write(b"torn write, not an npz")
+        rebuilt = cache.get_or_build(small_scene.mesh)
+        assert cache.invalidated == 1
+        assert cache.misses == 2  # the corrupt entry never counted as a hit
+        _assert_same_tree(rebuilt, build_bvh(small_scene.mesh, method="sah"))
+
+    def test_describe_reports_counters(self, tmp_path, small_scene):
+        cache = BVHArtifactCache(str(tmp_path))
+        cache.get_or_build(small_scene.mesh)
+        cache.get_or_build(small_scene.mesh)
+        desc = cache.describe()
+        assert desc["root"] == str(tmp_path)
+        assert desc["hits"] == 1 and desc["misses"] == 1
+        assert desc["invalidated"] == 0
+
+
+class TestConfiguration:
+    def test_configure_sets_and_clears_env(self, tmp_path):
+        configure_artifact_cache(str(tmp_path))
+        assert os.environ[ARTIFACT_CACHE_ENV] == str(tmp_path)
+        assert get_artifact_cache().root == str(tmp_path)
+        configure_artifact_cache(None)
+        assert ARTIFACT_CACHE_ENV not in os.environ
+        assert get_artifact_cache() is None
+
+    def test_env_var_alone_activates_cache(self, tmp_path):
+        # Workers inherit only the environment; get_artifact_cache must
+        # pick the directory up without an explicit configure call.
+        os.environ[ARTIFACT_CACHE_ENV] = str(tmp_path)
+        try:
+            cache = get_artifact_cache()
+            assert cache is not None and cache.root == str(tmp_path)
+        finally:
+            configure_artifact_cache(None)
+
+    def test_cached_build_without_cache_is_plain_build(self, small_scene):
+        assert get_artifact_cache() is None
+        bvh = cached_build_bvh(small_scene.mesh)
+        _assert_same_tree(bvh, build_bvh(small_scene.mesh, method="sah"))
+
+    def test_cached_build_with_cache_stores_entry(self, tmp_path, small_scene):
+        configure_artifact_cache(str(tmp_path))
+        cached_build_bvh(small_scene.mesh)
+        assert len(glob.glob(os.path.join(str(tmp_path), "*.npz"))) == 1

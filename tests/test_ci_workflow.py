@@ -67,7 +67,27 @@ class TestBenchmarkGate:
             step.get("run", "")
             for step in workflow["jobs"]["benchmark-smoke"]["steps"]
         ]
-        assert any("repro bench --quick --check" in r for r in runs)
+        quick = [r for r in runs if "repro bench --quick" in r]
+        assert quick, "benchmark-smoke must run the quick preset"
+        assert any("--check" in r for r in quick)
+        # The quick run exercises the process-sharded sweep path.
+        assert any("--jobs 2" in r for r in quick)
+
+    def test_smoke_job_gates_predictor_throughput(self, workflow):
+        runs = [
+            step.get("run", "")
+            for step in workflow["jobs"]["benchmark-smoke"]["steps"]
+        ]
+        gate = [r for r in runs if "repro bench --preset predictor" in r]
+        assert gate, "benchmark-smoke must gate the predictor pipeline"
+        assert any("--check" in r for r in gate)
+
+    def test_committed_predictor_baseline_exists_for_gate(self):
+        baseline = os.path.join(
+            os.path.dirname(WORKFLOW), "..", "..",
+            "benchmarks", "baselines", "BENCH_predictor.json",
+        )
+        assert os.path.exists(baseline)
 
     def test_lint_job_uses_ruff(self, workflow):
         runs = [

@@ -242,6 +242,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.preset:
         preset = PRESETS[args.preset]
+        if args.quick:
+            # CI smoke: keep the preset's pinned workload (so --check
+            # compares the same record set against the committed
+            # baseline) but time a single run per benchmark.
+            from dataclasses import replace
+
+            preset = replace(preset, repeats=1)
     else:
         preset = QUICK_PRESET if args.quick else FULL_PRESET
     configure_artifact_cache(args.artifact_cache)
@@ -419,7 +426,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke preset (3 scenes, <60s) instead of full")
-    bench.add_argument("--preset", choices=("quick", "full", "predictor"),
+    bench.add_argument("--preset",
+                       choices=("quick", "full", "predictor", "timing"),
                        default=None,
                        help="named preset (overrides --quick); 'predictor' "
                        "times only the predictor simulation on all scenes")

@@ -16,6 +16,7 @@ from repro.bench.harness import (
     PREDICTOR_PRESET,
     PRESETS,
     QUICK_PRESET,
+    TIMING_PRESET,
     BenchPreset,
     BenchRecord,
     compare_payloads,
@@ -32,6 +33,7 @@ __all__ = [
     "PREDICTOR_PRESET",
     "PRESETS",
     "QUICK_PRESET",
+    "TIMING_PRESET",
     "BenchPreset",
     "BenchRecord",
     "compare_payloads",

@@ -9,7 +9,7 @@ pinned-seed workloads:
 * ``predictor_sim``   - the functional predictor simulation
   (:func:`repro.core.simulate.simulate_predictor`) over a capped prefix.
 
-The JSON artifact (schema ``repro-bench/4``, documented in
+The JSON artifact (schema ``repro-bench/5``, documented in
 ``docs/BENCHMARKING.md``; older ``repro-bench/*`` artifacts are still
 read) records wall time, rays/second, and the deterministic traversal
 counters, plus derived wavefront-over-scalar speedups and a
@@ -74,14 +74,18 @@ from repro.trace.wavefront import ENGINES
 #: Artifact schema identifier; bump on incompatible layout changes.
 #: 2 added the optional ``telemetry`` section; 3 added the optional
 #: ``resilience`` section; 4 added the derived ``predictor_throughput``
-#: section and the preset's ``benchmarks`` selector (all additive -
-#: older artifacts remain readable, see :data:`ACCEPTED_SCHEMAS`).
-BENCH_SCHEMA = "repro-bench/4"
+#: section and the preset's ``benchmarks`` selector; 5 added the
+#: ``rt_timing`` benchmark (RT-unit cycle simulation, scalar vs vector
+#: engines) with its derived section and timing-preset knobs (all
+#: additive - older artifacts remain readable, see
+#: :data:`ACCEPTED_SCHEMAS`).
+BENCH_SCHEMA = "repro-bench/5"
 
 #: Schema tags :func:`load_payload` accepts.  Baselines written before
 #: the telemetry/resilience sections existed stay valid.
 ACCEPTED_SCHEMAS = (
-    "repro-bench/1", "repro-bench/2", "repro-bench/3", "repro-bench/4"
+    "repro-bench/1", "repro-bench/2", "repro-bench/3", "repro-bench/4",
+    "repro-bench/5",
 )
 
 #: Benchmarks gated by the regression check, in artifact order.
@@ -109,9 +113,23 @@ class BenchPreset:
     sim_rays: int
     in_flight: int = 32
     repeats: int = 2
-    #: Which benchmarks to run (subset of :data:`BENCHMARKS`); the
-    #: predictor preset times only the simulation pipeline.
+    #: Which benchmarks to run (subset of :data:`BENCHMARKS` plus
+    #: ``rt_timing``); the predictor preset times only the simulation
+    #: pipeline, the timing preset only the RT-unit cycle simulator.
     benchmarks: Tuple[str, ...] = BENCHMARKS
+    #: RT-unit shape for ``rt_timing`` runs.  The wide-SIMT defaults
+    #: (one 1024-thread warp per SM, iteration barrier) maximize the
+    #: per-step thread density the vectorized engine batches over;
+    #: cycle counts are machine-independent for any fixed shape.
+    timing_warp_size: int = 1024
+    timing_max_warps: int = 1
+    timing_warp_barrier: bool = True
+    timing_num_sms: int = 2
+    #: Also run the predictor-enabled configuration (gated on
+    #: equivalence and counters; its wall-clock speedup is recorded but
+    #: not held to the baseline-config floor - the per-retire predictor
+    #: training is inherently scalar in both engines).
+    timing_predictor: bool = True
 
     def describe(self) -> str:
         return (
@@ -159,6 +177,30 @@ PREDICTOR_PRESET = BenchPreset(
     detail=0.7,
     sim_rays=1024,
     benchmarks=("predictor_sim",),
+    # Best-of-5: the gated speedup ratio sits near 2-4x since the
+    # scalar engine's table probes were optimized, so run-to-run jitter
+    # is a larger fraction of the band; extra repeats keep the minimum
+    # estimator stable on small CI runners.
+    repeats=5,
+)
+
+#: RT-unit timing preset: all seven scenes through the discrete-event
+#: cycle simulator, once per engine (vector + scalar oracle) per
+#: configuration (baseline + predictor).  This seeds the
+#: ``BENCH_timing.json`` trajectory: cycles, cache hit rates and DRAM
+#: row-buffer hit rates are exact functions of seed + scene + config
+#: and gate exactly; the vector-over-scalar wall speedup gates with the
+#: usual tolerance floor.
+TIMING_PRESET = BenchPreset(
+    name="timing",
+    scenes=("SB", "SP", "LE", "LR", "FR", "BI", "CK"),
+    width=32,
+    height=32,
+    spp=2,
+    seed=1,
+    detail=0.6,
+    sim_rays=2048,
+    benchmarks=("rt_timing",),
 )
 
 #: Presets addressable from the CLI (``repro bench --preset NAME``).
@@ -166,6 +208,7 @@ PRESETS = {
     "quick": QUICK_PRESET,
     "full": FULL_PRESET,
     "predictor": PREDICTOR_PRESET,
+    "timing": TIMING_PRESET,
 }
 
 
@@ -263,6 +306,67 @@ def _sim_record(
     )
 
 
+def _timing_config(preset: BenchPreset, predictor: bool):
+    """The pinned GPU configuration for ``rt_timing`` runs."""
+    from repro.core.predictor import PredictorConfig
+    from repro.gpu.config import GPUConfig, RTUnitConfig
+
+    return GPUConfig(
+        num_sms=preset.timing_num_sms,
+        rt_unit=RTUnitConfig(
+            warp_size=preset.timing_warp_size,
+            max_warps=preset.timing_max_warps,
+            warp_barrier=preset.timing_warp_barrier,
+        ),
+        predictor=PredictorConfig() if predictor else None,
+    )
+
+
+def _timing_record(
+    scene_code: str, engine: str, bvh, rays, preset: BenchPreset,
+    predictor_enabled: bool,
+) -> BenchRecord:
+    """One RT-unit cycle-simulation run (``rt_timing`` benchmark).
+
+    ``engine`` is an RT-unit timing engine (``vector``/``scalar``), not
+    a traversal engine.  Cycles, fetch counters and hit rates are exact
+    functions of seed + scene + config and identical across engines;
+    wall time is what the vectorized engine buys.
+    """
+    from repro.gpu.simulator import simulate_workload
+
+    sub = rays.subset(np.arange(min(preset.sim_rays, len(rays))))
+    config = _timing_config(preset, predictor_enabled)
+
+    def run():
+        return simulate_workload(bvh, sub, config, engine=engine)
+
+    wall, out = _timed(run, preset.repeats)
+    n = len(sub)
+    extra = {
+        "cycles": float(out.cycles),
+        "l1_hit_rate": round(out.l1_hit_rate, 6),
+        "l2_hit_rate": round(out.l2_hit_rate, 6),
+        "dram_row_hits": float(out.dram_row_hits),
+        "dram_row_hit_rate": round(out.dram_row_hit_rate, 6),
+        "hit_rate": round(out.hit_rate, 6),
+    }
+    if predictor_enabled:
+        extra["predicted_rate"] = round(out.predicted_rate, 6)
+        extra["verified_rate"] = round(out.verified_rate, 6)
+    return BenchRecord(
+        benchmark="rt_timing_predictor" if predictor_enabled else "rt_timing",
+        scene=scene_code,
+        engine=engine,
+        rays=n,
+        wall_time_s=round(wall, 6),
+        rays_per_sec=round(n / wall, 1) if wall > 0 else float("inf"),
+        node_fetches=out.node_fetches,
+        tri_fetches=out.tri_fetches,
+        extra=extra,
+    )
+
+
 def _scene_records(
     preset: BenchPreset,
     code: str,
@@ -310,6 +414,29 @@ def _scene_records(
                     f"[{code}] {'predictor_sim':16s} {engine:9s} "
                     f"{rec.wall_time_s * 1e3:8.1f} ms  {rec.rays_per_sec:>12,.0f} rays/s"
                 )
+        if "rt_timing" in selected:
+            # Engine pair follows the degradation rung: the full rung
+            # ("wavefront" in the traversal-engine set) times vector
+            # against the scalar oracle; degraded rungs keep scalar
+            # only, dropping the speedup but preserving the counters.
+            timing_engines = (
+                ("vector", "scalar") if "wavefront" in engines else ("scalar",)
+            )
+            variants = [False]
+            if preset.timing_predictor and predictor_enabled:
+                variants.append(True)
+            for with_predictor in variants:
+                for engine in timing_engines:
+                    rec = _timing_record(
+                        code, engine, bvh, rays, preset,
+                        predictor_enabled=with_predictor,
+                    )
+                    records.append(rec)
+                    say(
+                        f"[{code}] {rec.benchmark:16s} {engine:9s} "
+                        f"{rec.wall_time_s * 1e3:8.1f} ms  "
+                        f"cycles={int(rec.extra['cycles'])}"
+                    )
     return records
 
 
@@ -650,6 +777,7 @@ def _build_payload(
             "predictor_throughput": _predictor_throughput(
                 by_key, scene_codes
             ),
+            "rt_timing": _rt_timing_section(by_key, scene_codes),
         },
     }
     if telemetry.enabled():
@@ -692,6 +820,60 @@ def _predictor_throughput(
         if scalar is not None and wave is not None and wave.wall_time_s > 0:
             row["speedup_wavefront_over_scalar"] = round(
                 scalar.wall_time_s / wave.wall_time_s, 3
+            )
+        if row:
+            section[code] = row
+    return section
+
+
+def _rt_timing_section(
+    by_key: Dict[Tuple[str, str, str], BenchRecord],
+    scene_codes: Sequence[str],
+) -> Dict[str, dict]:
+    """Per-scene RT-unit timing summary (schema 5).
+
+    ``cycles`` (and the hit rates) are machine-independent and gate
+    exactly; ``engines_agree`` asserts the vector engine matched the
+    scalar oracle's cycles and counters in *this* run;
+    ``speedup_vector_over_scalar`` is the wall-clock ratio on the
+    baseline (no-predictor) configuration, gated against a tolerance
+    floor like the traversal speedups.
+    """
+    section: Dict[str, dict] = {}
+    for code in scene_codes:
+        base_v = by_key.get(("rt_timing", code, "vector"))
+        base_s = by_key.get(("rt_timing", code, "scalar"))
+        pred_v = by_key.get(("rt_timing_predictor", code, "vector"))
+        pred_s = by_key.get(("rt_timing_predictor", code, "scalar"))
+        row: Dict[str, object] = {}
+        primary = base_v or base_s
+        if primary is not None:
+            row["cycles"] = primary.extra["cycles"]
+            for key in ("l1_hit_rate", "l2_hit_rate", "dram_row_hit_rate"):
+                row[key] = primary.extra[key]
+        pred_primary = pred_v or pred_s
+        if pred_primary is not None:
+            row["cycles_predictor"] = pred_primary.extra["cycles"]
+            if primary is not None and pred_primary.extra["cycles"]:
+                row["cycle_speedup_predictor"] = round(
+                    primary.extra["cycles"] / pred_primary.extra["cycles"], 4
+                )
+        pairs = [(base_v, base_s), (pred_v, pred_s)]
+        checked = [(v, s) for v, s in pairs if v is not None and s is not None]
+        if checked:
+            row["engines_agree"] = all(
+                v.extra["cycles"] == s.extra["cycles"]
+                and v.node_fetches == s.node_fetches
+                and v.tri_fetches == s.tri_fetches
+                for v, s in checked
+            )
+        if base_v is not None and base_s is not None and base_v.wall_time_s > 0:
+            row["speedup_vector_over_scalar"] = round(
+                base_s.wall_time_s / base_v.wall_time_s, 3
+            )
+        if pred_v is not None and pred_s is not None and pred_v.wall_time_s > 0:
+            row["speedup_vector_over_scalar_predictor"] = round(
+                pred_s.wall_time_s / pred_v.wall_time_s, 3
             )
         if row:
             section[code] = row
@@ -789,6 +971,73 @@ def compare_payloads(
                     f"{drift:.1%} ({base_value} -> {cur_value})"
                 )
 
+    base_rt = baseline.get("derived", {}).get("rt_timing", {})
+    cur_rt = current.get("derived", {}).get("rt_timing", {})
+    for code, base_row in base_rt.items():
+        cur_row = cur_rt.get(code)
+        if cur_row is None:
+            problems.append(f"rt_timing/{code}: scene missing from current run")
+            continue
+        # Cycle counts are exact functions of seed + scene + config:
+        # any drift is an algorithm change and must re-baseline.
+        for key in ("cycles", "cycles_predictor"):
+            if key not in base_row:
+                continue
+            cur_value = cur_row.get(key)
+            if cur_value is None:
+                problems.append(
+                    f"rt_timing/{code}: {key} missing from current run "
+                    f"(baseline {int(base_row[key])})"
+                )
+            elif cur_value != base_row[key]:
+                problems.append(
+                    f"rt_timing/{code}: {key} changed "
+                    f"{int(base_row[key])} -> {int(cur_value)} "
+                    "(cycle counts gate exactly)"
+                )
+        # The vector engine must agree with the scalar oracle *in the
+        # current run* - this is the differential gate, not a drift one.
+        if base_row.get("engines_agree") and cur_row.get("engines_agree") is not True:
+            problems.append(
+                f"rt_timing/{code}: vector engine no longer matches the "
+                "scalar oracle (engines_agree is "
+                f"{cur_row.get('engines_agree')!r})"
+            )
+        for key in ("l1_hit_rate", "l2_hit_rate", "dram_row_hit_rate"):
+            base_value = base_row.get(key)
+            if base_value is None:
+                continue
+            cur_value = cur_row.get(key)
+            if cur_value is None:
+                problems.append(
+                    f"rt_timing/{code}: {key} missing from current run"
+                )
+                continue
+            if base_value == 0:
+                continue
+            drift = abs(cur_value - base_value) / abs(base_value)
+            if drift > tolerance:
+                problems.append(
+                    f"rt_timing/{code}: {key} drifted {drift:.1%} "
+                    f"({base_value} -> {cur_value})"
+                )
+        base_speedup = base_row.get("speedup_vector_over_scalar")
+        cur_speedup = cur_row.get("speedup_vector_over_scalar")
+        if base_speedup is not None:
+            if cur_speedup is None:
+                problems.append(
+                    f"rt_timing/{code}: vector speedup missing from current "
+                    f"run (baseline {base_speedup}x)"
+                )
+            else:
+                floor = base_speedup * (1.0 - tolerance)
+                if cur_speedup < floor:
+                    problems.append(
+                        f"rt_timing/{code}: vector speedup regressed to "
+                        f"{cur_speedup}x (baseline {base_speedup}x, "
+                        f"floor {floor:.2f}x)"
+                    )
+
     cur_records = {
         (r["benchmark"], r["scene"], r["engine"]): r
         for r in current.get("results", [])
@@ -844,5 +1093,15 @@ def summarize(payload: dict) -> str:
             f"  predictor {code}: {row.get('rays_per_sec', 0):,.0f} rays/s  "
             f"verified {rates.get('verified_rate', 0.0):.1%}  "
             f"memory {rates.get('memory_savings', 0.0):+.1%}"
+        )
+    rt = payload.get("derived", {}).get("rt_timing", {})
+    for code, row in rt.items():
+        speedup = row.get("speedup_vector_over_scalar")
+        speedup_txt = f"{speedup}x" if speedup is not None else "-"
+        lines.append(
+            f"  rt_timing {code}: cycles={int(row.get('cycles', 0))}  "
+            f"vector/scalar {speedup_txt}  "
+            f"agree={row.get('engines_agree', '-')}  "
+            f"row-hit {row.get('dram_row_hit_rate', 0.0):.1%}"
         )
     return "\n".join(lines)

@@ -89,6 +89,24 @@ class FlatBVH:
         self._tri_to_leaf: np.ndarray | None = None
 
     # ------------------------------------------------------------------
+    # Pickling (``sm_jobs`` worker processes)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop derived caches so worker-process pickles stay small.
+
+        The hot layout, ancestor tables, depth and triangle-to-leaf maps
+        are all recomputed on demand from the flat arrays; shipping them
+        to ``simulate_workload(..., sm_jobs=N)`` workers only inflates
+        IPC payloads.
+        """
+        state = self.__dict__.copy()
+        state["_depth"] = None
+        state["_ancestors"] = {}
+        state["_hot"] = None
+        state["_tri_to_leaf"] = None
+        return state
+
+    # ------------------------------------------------------------------
     # Basic structure
     # ------------------------------------------------------------------
     @property

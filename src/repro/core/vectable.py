@@ -123,6 +123,21 @@ class VectorizedPredictorTable:
     # ------------------------------------------------------------------
     # Hash folding (batched form of PredictorTable._index_and_tag).
     # ------------------------------------------------------------------
+    def _index_and_tag(self, ray_hash: int):
+        """Scalar fold, identical to the batched kernel for one hash."""
+        tag = int(ray_hash) & ((1 << self.hash_bits) - 1)
+        if self.index_bits == 0:
+            return 0, tag
+        omask = (1 << self.index_bits) - 1
+        folded = 0
+        chunk = tag
+        remaining = self.hash_bits
+        while remaining > 0:
+            folded ^= chunk & omask
+            chunk >>= self.index_bits
+            remaining -= self.index_bits
+        return folded, tag
+
     def _index_and_tag_batch(self, hashes: np.ndarray):
         hashes = np.asarray(hashes, dtype=np.uint64)
         tag = hashes & np.uint64((1 << self.hash_bits) - 1)
@@ -368,17 +383,55 @@ class VectorizedPredictorTable:
         tie = np.where(cand, self._nseq[s, w], _INF)
         return tie.argmin(axis=1)
 
+    def _touch_slot(self, s: int, w: int, slot: int, stamp: int) -> None:
+        """Single-coordinate form of :meth:`_touch_slots`."""
+        if self._kind == "lru":
+            self._nstamp[s, w, slot] = stamp
+        elif self._kind == "lfu":
+            self._ncount[s, w, slot] += 1
+        else:
+            hist = self._nhist[s, w, slot]
+            hist[:-1] = hist[1:]
+            hist[-1] = stamp
+
+    def _node_victim(self, s: int, w: int, ent_valid: np.ndarray) -> int:
+        """Single-entry form of :meth:`_node_victims`."""
+        if self._kind == "lru":
+            key = np.where(ent_valid, self._nstamp[s, w], _INF)
+            return int(key.argmin())
+        if self._kind == "lfu":
+            primary = np.where(ent_valid, self._ncount[s, w], _INF)
+        else:
+            primary = np.where(ent_valid, self._nhist[s, w, :, 0], _INF)
+        cand = primary == primary.min()
+        tie = np.where(cand, self._nseq[s, w], _INF)
+        return int(tie.argmin())
+
     # ------------------------------------------------------------------
-    # Scalar probe API (thin wrappers over the batched kernels).
+    # Scalar probe API.
+    #
+    # Semantically these are ``*_batch`` calls with ``n == 1``, but they
+    # run as direct single-row kernels: the event-driven RT-unit timing
+    # model retires threads one at a time, and going through the batch
+    # path costs ~100x more per probe in fancy-indexing overhead.  The
+    # differential tests in ``tests/test_vectable.py`` drive the table
+    # through this scalar surface, pinning it to both the batch kernels
+    # and the reference ``PredictorTable``.
     # ------------------------------------------------------------------
     def lookup(self, ray_hash: int) -> Optional[List[int]]:
         """Look a ray hash up; returns the predicted nodes or ``None``."""
-        nodes, counts = self.lookup_batch(
-            np.asarray([ray_hash], dtype=np.uint64)
-        )
-        if counts[0] == 0:
+        self.stats.lookups += 1
+        s, t = self._index_and_tag(ray_hash)
+        way = self._match_way(s, t)
+        if way < 0:
+            # Misses consume no stamp, matching ``lookup_batch``'s
+            # early return before ``_ticks``.
             return None
-        return [int(x) for x in nodes[0, : counts[0]]]
+        self.stats.hits += 1
+        self._clock += 1
+        self._estamp[s, way] = self._clock
+        order = self._node_order(s, way)
+        return [int(self._nodes[s, way, p]) for p in order]
 
     def peek(self, ray_hash: int) -> Optional[List[int]]:
         """Probe without touching LRU state or statistics."""
@@ -394,17 +447,62 @@ class VectorizedPredictorTable:
 
     def confirm(self, ray_hash: int, node: int) -> None:
         """Record that ``node`` from this entry verified a ray."""
-        self.confirm_batch(
-            np.asarray([ray_hash], dtype=np.uint64),
-            np.asarray([node], dtype=np.int64),
-        )
+        s, t = self._index_and_tag(ray_hash)
+        # ``confirm_batch`` reserves stamps before probing; keep the
+        # same clock consumption so interleavings stay order-equivalent.
+        self._clock += 1
+        stamp = self._clock
+        way = self._match_way(s, t)
+        if way < 0:
+            return
+        ent_valid = self._nvalid[s, way]
+        m = ent_valid & (self._nodes[s, way] == int(node))
+        if not m.any():
+            return
+        key = np.where(m, self._order_key()[s, way], _INF)
+        self._touch_slot(s, way, int(key.argmin()), stamp)
 
     def update(self, ray_hash: int, node: int) -> None:
         """Insert one traversal result (see ``PredictorTable.update``)."""
-        self.update_batch(
-            np.asarray([ray_hash], dtype=np.uint64),
-            np.asarray([node], dtype=np.int64),
-        )
+        self.stats.updates += 1
+        s, t = self._index_and_tag(ray_hash)
+        node = int(node)
+        self._clock += 1
+        stamp = self._clock
+        way = self._match_way(s, t)
+        if way < 0:
+            valid_row = self._valid[s]
+            if valid_row.all():
+                way = int(self._estamp[s].argmin())
+                self.stats.entry_evictions += 1
+            else:
+                way = int((~valid_row).argmax())
+            self._valid[s, way] = True
+            self._tags[s, way] = t
+            self._nvalid[s, way] = False
+        # Hit or miss, the trained entry becomes most recent.
+        self._estamp[s, way] = stamp
+        ent_valid = self._nvalid[s, way]
+        dup = ent_valid & (self._nodes[s, way] == node)
+        if dup.any():
+            # Re-inserting a present node is a policy touch.
+            self._touch_slot(s, way, int(dup.argmax()), stamp)
+            return
+        if not ent_valid.all():
+            slot = int((~ent_valid).argmax())
+        else:
+            slot = self._node_victim(s, way, ent_valid)
+            self.stats.node_evictions += 1
+        self._nodes[s, way, slot] = node
+        self._nvalid[s, way, slot] = True
+        self._nseq[s, way, slot] = stamp
+        if self._kind == "lru":
+            self._nstamp[s, way, slot] = stamp
+        elif self._kind == "lfu":
+            self._ncount[s, way, slot] = 1
+        else:
+            self._nhist[s, way, slot, :] = -1
+            self._nhist[s, way, slot, -1] = stamp
 
     # ------------------------------------------------------------------
     # Fault-injection surface (logical scalar coordinates).

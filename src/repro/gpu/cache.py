@@ -38,21 +38,25 @@ class Cache:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
-        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(config.num_sets)]
+        # Geometry cached as plain ints: `access` sits on the timing
+        # model's innermost loop and property lookups dominate it.
+        self._num_sets = config.num_sets
+        self._ways = config.ways
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self._num_sets)]
         self.stats = CacheStats()
 
     def _locate(self, line_addr: int) -> OrderedDict:
-        return self._sets[line_addr % self.config.num_sets]
+        return self._sets[line_addr % self._num_sets]
 
     def access(self, line_addr: int) -> bool:
         """Access a line; returns True on hit.  Misses allocate (LRU evict)."""
         self.stats.accesses += 1
-        bucket = self._locate(line_addr)
+        bucket = self._sets[line_addr % self._num_sets]
         if line_addr in bucket:
             bucket.move_to_end(line_addr)
             self.stats.hits += 1
             return True
-        if len(bucket) >= self.config.ways:
+        if len(bucket) >= self._ways:
             bucket.popitem(last=False)
         bucket[line_addr] = True
         return False

@@ -57,11 +57,17 @@ class DRAMConfig:
         num_banks: independent banks (addresses interleave line-wise).
         latency: access latency when the bank is idle, in core cycles.
         bank_occupancy: cycles a bank stays busy per access (throughput).
+        lines_per_row: cache lines per DRAM row buffer; consecutive
+            same-bank lines share a row, and back-to-back accesses to
+            the open row are counted as row-buffer hits.  Purely an
+            observability counter - row state does not change timing,
+            so cycle counts are independent of this value.
     """
 
     num_banks: int = 8
     latency: int = 120
     bank_occupancy: int = 24
+    lines_per_row: int = 32
 
 
 @dataclass(frozen=True)
@@ -140,6 +146,12 @@ class GPUConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     predictor: Optional[PredictorConfig] = None
     collector_timeout: int = 16
+    #: True (default, the paper's Table 2 topology): all SMs share one
+    #: L2 and DRAM, which serializes the simulation across SMs.  False
+    #: gives each SM a private L2/DRAM, making per-SM runs independent
+    #: so ``simulate_workload(..., sm_jobs=N)`` can shard them across
+    #: processes bit-identically to the serial private-L2 run.
+    shared_l2: bool = True
     #: Hard cycle cap per SM run; ``None`` disables it.  When the
     #: simulated clock passes this value the run aborts with a
     #: :class:`repro.errors.SimulationStallError` carrying diagnostics,

@@ -10,7 +10,8 @@ spreading accesses across banks and raising bank-level parallelism.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+
+import numpy as np
 
 from repro.gpu.config import DRAMConfig
 
@@ -24,6 +25,12 @@ class DRAMStats:
     busy_cycles: int = 0
     first_access_time: int = 0
     last_release_time: int = 0
+    row_hits: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses that hit the bank's open row buffer."""
+        return self.row_hits / self.accesses if self.accesses else 0.0
 
     def bank_parallelism(self, num_banks: int) -> float:
         """Average banks busy simultaneously over the active span."""
@@ -39,16 +46,26 @@ class DRAMStats:
 
 
 class DRAM:
-    """Per-bank busy-until bookkeeping."""
+    """Per-bank busy-until / open-row bookkeeping (numpy-array backed)."""
 
     def __init__(self, config: DRAMConfig) -> None:
         self.config = config
-        self._busy_until: List[int] = [0] * config.num_banks
+        self._busy_until = np.zeros(config.num_banks, dtype=np.int64)
+        self._open_row = np.full(config.num_banks, -1, dtype=np.int64)
         self.stats = DRAMStats()
 
     def bank_of(self, line_addr: int) -> int:
         """Bank servicing ``line_addr`` (line-interleaved)."""
         return line_addr % self.config.num_banks
+
+    def row_of(self, line_addr: int) -> int:
+        """DRAM row of ``line_addr`` within its bank.
+
+        With line-interleaved banks, consecutive same-bank lines
+        (stride ``num_banks``) map to one row of ``lines_per_row``
+        columns.
+        """
+        return (line_addr // self.config.num_banks) // self.config.lines_per_row
 
     def access(self, line_addr: int, now: int) -> int:
         """Service a request arriving at cycle ``now``.
@@ -57,7 +74,7 @@ class DRAM:
         for ``bank_occupancy`` cycles from service start.
         """
         bank = self.bank_of(line_addr)
-        start = max(now, self._busy_until[bank])
+        start = max(now, int(self._busy_until[bank]))
         stall = start - now
         done = start + self.config.latency
         self._busy_until[bank] = start + self.config.bank_occupancy
@@ -71,8 +88,13 @@ class DRAM:
         stats.last_release_time = max(
             stats.last_release_time, start + self.config.bank_occupancy
         )
+        row = self.row_of(line_addr)
+        if self._open_row[bank] == row:
+            stats.row_hits += 1
+        self._open_row[bank] = row
         return done
 
     def reset_timing(self) -> None:
-        """Clear bank busy state (new kernel) without losing statistics."""
-        self._busy_until = [0] * self.config.num_banks
+        """Clear bank busy/row state (new kernel) without losing statistics."""
+        self._busy_until[:] = 0
+        self._open_row[:] = -1

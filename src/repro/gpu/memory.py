@@ -47,6 +47,11 @@ class MemoryHierarchy:
         self.l1 = Cache(config.l1)
         self.l2 = l2 if l2 is not None else Cache(config.l2)
         self.dram = dram if dram is not None else DRAM(config.dram)
+        # Hit latencies cached as ints: `access_line` is the hottest
+        # scalar path in both timing engines.
+        self._l1_latency = config.l1.latency
+        self._l2_latency = config.l2.latency
+        self._l1_ports = config.l1_ports
         # The SM's L1 request port(s): `l1_ports` line requests per cycle
         # (the RT unit multiplexes with the LDST unit for L1 access,
         # Section 5.1).  Requests from all resident warps serialize here
@@ -73,29 +78,44 @@ class MemoryHierarchy:
         return byte_addr // self.config.l1.line_bytes
 
     def access_line(self, line_addr: int, now: int) -> AccessResult:
+        """Access one cache line, classifying where it hit.
+
+        Convenience wrapper over :meth:`access_line_time` for callers
+        that want per-access hit flags; the timing engines use the
+        flag-free fast path directly.
+        """
+        l1_hits = self.l1.stats.hits
+        l2_hits = self.l2.stats.hits
+        ready = self.access_line_time(line_addr, now)
+        return AccessResult(
+            ready_at=ready,
+            l1_hit=self.l1.stats.hits > l1_hits,
+            l2_hit=self.l2.stats.hits > l2_hits,
+        )
+
+    def access_line_time(self, line_addr: int, now: int) -> int:
         """Access one cache line, arriving at cycle ``now``.
 
         The request first waits for the L1 port (one issue per cycle,
-        shared by all warps), then traverses the hierarchy.
+        shared by all warps), then traverses the hierarchy.  Returns the
+        cycle at which the data is ready; hit/miss classification lives
+        in the cache and DRAM statistics objects.
         """
-        if now > self._port_cycle:
-            self._port_cycle = now
-            self._port_slots = 0
-        elif self._port_slots >= self.config.l1_ports:
-            self._port_cycle += 1
-            self._port_slots = 0
         issue = self._port_cycle
-        self._port_slots += 1
+        if now > issue:
+            issue = now
+            self._port_slots = 1
+        elif self._port_slots >= self._l1_ports:
+            issue += 1
+            self._port_slots = 1
+        else:
+            self._port_slots += 1
+        self._port_cycle = issue
         self.port_issues += 1
         self.port_wait_cycles += issue - now
 
         if self.l1.access(line_addr):
-            return AccessResult(
-                ready_at=issue + self.config.l1.latency, l1_hit=True, l2_hit=False
-            )
+            return issue + self._l1_latency
         if self.l2.access(line_addr):
-            return AccessResult(
-                ready_at=issue + self.config.l2.latency, l1_hit=False, l2_hit=True
-            )
-        ready = self.dram.access(line_addr, issue + self.config.l2.latency)
-        return AccessResult(ready_at=ready, l1_hit=False, l2_hit=False)
+            return issue + self._l2_latency
+        return self.dram.access(line_addr, issue + self._l2_latency)

@@ -48,7 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro import telemetry
 from repro.bvh.nodes import FlatBVH
 from repro.core.predictor import RayPredictor
-from repro.core.repacking import PartialWarpCollector
+from repro.core.repacking import COLLECTOR_CAPACITY, PartialWarpCollector
 from repro.errors import SimulationStallError, TraversalError
 from repro.geometry.intersect import ray_aabb_intersect, ray_triangle_intersect
 from repro.geometry.ray import RayBatch
@@ -156,6 +156,14 @@ class RTUnitResult:
     #: Threads whose speculative stack held an invalid node index and
     #: were restarted from the root by the guard (0 in healthy runs).
     guard_restarts: int = 0
+    #: DRAM accesses that hit their bank's open row buffer (pure
+    #: observability - row state never changes timing).
+    dram_row_hits: int = 0
+
+    @property
+    def dram_row_hit_rate(self) -> float:
+        """Fraction of this run's DRAM accesses that were row-buffer hits."""
+        return self.dram_row_hits / self.dram_accesses if self.dram_accesses else 0.0
 
     @property
     def total_accesses(self) -> int:
@@ -225,7 +233,7 @@ class RTUnit:
         """Trace every ray in ``rays`` (in order) and return statistics."""
         with telemetry.span(
             "rt_unit.run", rays=len(rays),
-            predictor=self.predictor is not None,
+            predictor=self.predictor is not None, engine="scalar",
         ) as sp:
             result = self._run(rays)
             sp.add(cycles=result.cycles, warp_steps=result.warp_steps)
@@ -248,8 +256,13 @@ class RTUnit:
         # simultaneously executing warps, i.e. buffer-resident rays.
         extra = self.predictor.config.extra_warps if use_predictor else 0
         buffer_capacity = (self.rt.max_warps + extra) * self.rt.warp_size
+        # `capacity` is a constructor floor (push() drains at warp_size
+        # regardless); widening it for wide-SIMT configs is behaviorally
+        # free and keeps warp_size > COLLECTOR_CAPACITY legal.
         collector = PartialWarpCollector(
-            warp_size=self.rt.warp_size, timeout_cycles=self.config.collector_timeout
+            warp_size=self.rt.warp_size,
+            capacity=max(COLLECTOR_CAPACITY, self.rt.warp_size),
+            timeout_cycles=self.config.collector_timeout,
         )
         collector_last_push = 0
         collector_ready: List[List[int]] = []  # flushed warps awaiting a slot
@@ -277,6 +290,7 @@ class RTUnit:
         l1_before = (self.memory.l1.stats.accesses, self.memory.l1.stats.hits)
         l2_before = (self.memory.l2.stats.accesses, self.memory.l2.stats.hits)
         dram_before = self.memory.dram.stats.accesses
+        dram_row_before = self.memory.dram.stats.row_hits
 
         def launch(warp: _Warp) -> None:
             nonlocal resident
@@ -437,6 +451,7 @@ class RTUnit:
             collector_warps=collector_warps,
             collector_timeout_flushes=collector.stats.timeout_flushes,
             guard_restarts=guard_restarts,
+            dram_row_hits=dram.row_hits - dram_row_before,
         )
 
     # ------------------------------------------------------------------
@@ -588,9 +603,9 @@ class RTUnit:
             if pending is not None and pending >= start:
                 lines[line] = pending
                 continue
-            result = self.memory.access_line(line, start)
-            lines[line] = result.ready_at
-            inflight[line] = result.ready_at
+            ready = self.memory.access_line_time(line, start)
+            lines[line] = ready
+            inflight[line] = ready
             if len(inflight) > 4 * self.rt.warp_size:
                 # Prune stale entries opportunistically.
                 warp.inflight = {

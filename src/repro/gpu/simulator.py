@@ -12,8 +12,9 @@ and take the slowest SM's cycle count as the execution time.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -25,7 +26,8 @@ from repro.gpu.cache import Cache
 from repro.gpu.config import GPUConfig
 from repro.gpu.dram import DRAM
 from repro.gpu.memory import MemoryHierarchy
-from repro.gpu.rt_unit import RTUnit, RTUnitResult
+from repro.gpu.rt_unit import RTUnitResult
+from repro.gpu.vec_rt_unit import RT_ENGINES, make_rt_unit
 from repro.telemetry.publish import publish_cache_stats, publish_dram_stats
 
 
@@ -100,6 +102,17 @@ class SimOutput:
         return self._sum("dram_accesses")
 
     @property
+    def dram_row_hits(self) -> int:
+        """DRAM requests that hit an open row buffer, all SMs."""
+        return self._sum("dram_row_hits")
+
+    @property
+    def dram_row_hit_rate(self) -> float:
+        """Aggregate DRAM row-buffer hit rate."""
+        accesses = self.dram_accesses
+        return self.dram_row_hits / accesses if accesses else 0.0
+
+    @property
     def dram_bank_parallelism(self) -> float:
         """Mean DRAM bank-level parallelism across SM runs."""
         vals = [r.dram_bank_parallelism for r in self.per_sm]
@@ -157,11 +170,32 @@ def make_predictors(bvh: FlatBVH, config: GPUConfig) -> List[RayPredictor]:
     return [RayPredictor(bvh, config.predictor) for _ in range(config.num_sms)]
 
 
+def _simulate_one_sm(
+    args: Tuple[FlatBVH, GPUConfig, RayBatch, int, str],
+) -> Tuple[int, RTUnitResult, MemoryHierarchy]:
+    """One SM's run in a ``sm_jobs`` worker process.
+
+    Only valid for private-L2 configurations: the worker builds a fresh
+    memory hierarchy and (cold) predictor, so its result is bit-identical
+    to the same SM's turn in the serial private-L2 loop.
+    """
+    bvh, config, sm_rays, sm, engine = args
+    memory = MemoryHierarchy(config.memory)
+    predictor = (
+        RayPredictor(bvh, config.predictor) if config.predictor is not None else None
+    )
+    unit = make_rt_unit(engine, bvh, config, memory, predictor=predictor)
+    result = unit.run(sm_rays)
+    return sm, result, memory
+
+
 def simulate_workload(
     bvh: FlatBVH,
     rays: RayBatch,
     config: Optional[GPUConfig] = None,
     predictors: Optional[List[RayPredictor]] = None,
+    engine: str = "vector",
+    sm_jobs: int = 1,
 ) -> SimOutput:
     """Simulate tracing ``rays`` on the configured GPU.
 
@@ -173,40 +207,113 @@ def simulate_workload(
         predictors: optional pre-warmed per-SM predictors (from
             :func:`make_predictors`) to reuse between frames; by default
             each call starts with cold tables.
+        engine: timing engine - ``"vector"`` (default, the batched SoA
+            stepper) or ``"scalar"`` (the per-thread differential
+            oracle).  Both produce identical cycles and counters.
+        sm_jobs: shard per-SM runs across up to this many worker
+            processes.  Requires ``config.shared_l2=False`` (private
+            L2/DRAM per SM, so SM runs are independent) and cold
+            predictors; the sharded result is bit-identical to the
+            serial private-L2 run.
 
     Returns:
         :class:`SimOutput` with total cycles (max over SMs) and per-SM
         detailed results.
     """
     config = config or GPUConfig()
+    if engine not in RT_ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {RT_ENGINES}")
     if predictors is not None and len(predictors) != config.num_sms:
         raise ValueError(
             f"expected {config.num_sms} predictors, got {len(predictors)}"
         )
-    shared_l2 = Cache(config.memory.l2)
-    shared_dram = DRAM(config.memory.dram)
+    if sm_jobs < 1:
+        raise ValueError("sm_jobs must be >= 1")
+    sm_jobs = min(sm_jobs, config.num_sms)
+    if sm_jobs > 1:
+        if config.shared_l2:
+            raise ValueError(
+                "sm_jobs > 1 requires shared_l2=False: with a shared L2/DRAM "
+                "the SM runs serialize through common memory state and "
+                "cannot shard across processes"
+            )
+        if predictors is not None:
+            raise ValueError(
+                "sm_jobs > 1 cannot reuse pre-warmed predictors: worker "
+                "processes cannot reflect table mutations back to the caller"
+            )
 
-    per_sm: List[RTUnitResult] = []
     assignments = split_rays_across_sms(rays, config.num_sms, config.rt_unit.warp_size)
     with telemetry.span(
         "gpu.simulate", rays=len(rays), sms=config.num_sms,
         predictor=config.predictor is not None,
+        engine=engine, sm_jobs=sm_jobs,
     ) as sp:
-        for sm, sm_rays in enumerate(assignments):
-            memory = MemoryHierarchy(config.memory, l2=shared_l2, dram=shared_dram)
-            predictor = None
-            if predictors is not None:
-                predictor = predictors[sm]
-            elif config.predictor is not None:
-                predictor = RayPredictor(bvh, config.predictor)
-            unit = RTUnit(bvh, config, memory, predictor=predictor)
-            shared_dram.reset_timing()
-            with telemetry.label_context(sm=sm):
-                per_sm.append(unit.run(rays.subset(sm_rays)))
-            publish_cache_stats(memory.l1.stats, level="l1", sm=sm)
-
+        if sm_jobs > 1:
+            per_sm = _simulate_sharded(bvh, rays, config, assignments, engine, sm_jobs)
+        else:
+            per_sm = _simulate_serial(bvh, rays, config, predictors, assignments, engine)
         cycles = max((r.cycles for r in per_sm), default=0)
         sp.add(cycles=cycles)
-    publish_cache_stats(shared_l2.stats, level="l2")
-    publish_dram_stats(shared_dram.stats, config.memory.dram.num_banks)
     return SimOutput(cycles=cycles, per_sm=per_sm)
+
+
+def _simulate_serial(
+    bvh: FlatBVH,
+    rays: RayBatch,
+    config: GPUConfig,
+    predictors: Optional[List[RayPredictor]],
+    assignments: List[np.ndarray],
+    engine: str,
+) -> List[RTUnitResult]:
+    """SMs one after another, sharing L2/DRAM when configured to."""
+    shared_l2 = Cache(config.memory.l2) if config.shared_l2 else None
+    shared_dram = DRAM(config.memory.dram) if config.shared_l2 else None
+
+    per_sm: List[RTUnitResult] = []
+    for sm, sm_rays in enumerate(assignments):
+        if config.shared_l2:
+            memory = MemoryHierarchy(config.memory, l2=shared_l2, dram=shared_dram)
+            shared_dram.reset_timing()
+        else:
+            memory = MemoryHierarchy(config.memory)
+        predictor = None
+        if predictors is not None:
+            predictor = predictors[sm]
+        elif config.predictor is not None:
+            predictor = RayPredictor(bvh, config.predictor)
+        unit = make_rt_unit(engine, bvh, config, memory, predictor=predictor)
+        with telemetry.label_context(sm=sm):
+            per_sm.append(unit.run(rays.subset(sm_rays)))
+        publish_cache_stats(memory.l1.stats, level="l1", sm=sm)
+        if not config.shared_l2:
+            publish_cache_stats(memory.l2.stats, level="l2", sm=sm)
+            publish_dram_stats(memory.dram.stats, config.memory.dram.num_banks, sm=sm)
+
+    if config.shared_l2:
+        publish_cache_stats(shared_l2.stats, level="l2")
+        publish_dram_stats(shared_dram.stats, config.memory.dram.num_banks)
+    return per_sm
+
+
+def _simulate_sharded(
+    bvh: FlatBVH,
+    rays: RayBatch,
+    config: GPUConfig,
+    assignments: List[np.ndarray],
+    engine: str,
+    sm_jobs: int,
+) -> List[RTUnitResult]:
+    """Private-L2 SM runs fanned out across worker processes."""
+    tasks = [
+        (bvh, config, rays.subset(sm_rays), sm, engine)
+        for sm, sm_rays in enumerate(assignments)
+    ]
+    per_sm: List[Optional[RTUnitResult]] = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=sm_jobs) as pool:
+        for sm, result, memory in pool.map(_simulate_one_sm, tasks):
+            per_sm[sm] = result
+            publish_cache_stats(memory.l1.stats, level="l1", sm=sm)
+            publish_cache_stats(memory.l2.stats, level="l2", sm=sm)
+            publish_dram_stats(memory.dram.stats, config.memory.dram.num_banks, sm=sm)
+    return per_sm  # type: ignore[return-value]

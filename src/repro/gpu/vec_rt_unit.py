@@ -1,0 +1,773 @@
+"""Vectorized (SoA) implementation of the RT-unit timing model.
+
+:class:`VectorRTUnit` is a drop-in replacement for
+:class:`repro.gpu.rt_unit.RTUnit` that keeps per-ray state in flat numpy
+arrays and advances every ready thread of a warp iteration with masked
+array kernels instead of a Python loop: one exact-order slab kernel per
+children of the interior threads, one gathered Moeller-Trumbore kernel
+for all leaf triangles, insertion-ordered dict dedup for the MSHR/memory
+stage (at warp width a dict beats ``np.unique``), and batched predictor
+lookups at warp admission.
+
+Cycle-for-cycle equivalence
+---------------------------
+The scalar stepper remains the differential oracle; this engine is
+*cycle-count- and counter-identical* to it (the contract
+``tests/test_vec_rt_unit.py`` pins on all seven scenes).  The details
+that make that work:
+
+* The discrete-event loop (heap of ``(ready_time, age)``, admission
+  gate, partial-warp collector, watchdog) is shared logic operating on
+  warp granularity - only the per-thread step body is vectorized, so
+  event order is unchanged.  Warp steps serialize through the shared
+  memory-hierarchy state exactly as before.
+* The slab kernel reproduces the scalar ``ray_aabb_intersect``
+  *operation order*: a compare-and-swap per axis (``np.where(t1 > t2)``
+  - NaN compares false, so no swap, like Python) and left-fold
+  max/min reductions (``acc = np.where(v > acc, v, acc)``), not
+  ``np.maximum``, whose NaN propagation differs from Python's ``max``.
+* Leaf threads test all triangles in one gathered kernel
+  (:func:`~repro.geometry.intersect.ray_triangle_intersect_batch` is
+  bit-identical to the scalar test by contract) and then charge fetches
+  and latency only up to the first hit, recovering the scalar engine's
+  early-exit counters.
+* Per-step cache lines are assembled in exact scalar order (member
+  order, each thread's lines in issue order) so the first-occurrence
+  dedup, L1 port serialization, LRU updates and DRAM bank timing see
+  the same request sequence.
+* Predictor lookups batch per warp (``predict_batch`` is
+  order-equivalent to sequential lookups - the PR 7 vectable
+  contract); training and confirmation stay scalar per retired ray in
+  member order, because interleaving them across rays would reorder
+  LRU stamps within a table set.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.bvh.nodes import (
+    NODE_BASE_ADDRESS,
+    NODE_SIZE_BYTES,
+    TRIANGLE_BASE_ADDRESS,
+    TRIANGLE_SIZE_BYTES,
+    FlatBVH,
+)
+from repro.core.predictor import RayPredictor
+from repro.core.repacking import COLLECTOR_CAPACITY, PartialWarpCollector
+from repro.errors import SimulationStallError, TraversalError
+from repro.geometry.intersect import ray_triangle_intersect_batch
+from repro.geometry.ray import RayBatch
+from repro.gpu.config import GPUConfig
+from repro.gpu.memory import MemoryHierarchy
+from repro.gpu.rt_unit import _RESTART_SENTINEL, RTUnit, RTUnitResult, _StepOutcome
+from repro.telemetry.publish import publish_rt_unit_result
+
+#: Sentinel for "no hit yet" in first-hit reductions.
+_NO_HIT = np.int64(1) << 62
+
+#: Selectable RT-unit timing engines (`vector` is the default).
+RT_ENGINES = ("vector", "scalar")
+
+
+def _slab_exact(origins, inv_dirs, t_min, t_max, lo, hi):
+    """Slab test with the scalar kernel's exact operation order.
+
+    ``np.minimum``/``np.maximum`` propagate NaN; Python's swap-and-fold
+    in :func:`~repro.geometry.intersect.ray_aabb_intersect` keeps the
+    accumulator on NaN (comparisons are False).  Degenerate rays with
+    ``0 * inf`` slab products therefore need this laddered form to stay
+    bit-identical to the oracle.
+    """
+    with np.errstate(invalid="ignore"):
+        t1 = (lo - origins) * inv_dirs
+        t2 = (hi - origins) * inv_dirs
+    swap = t1 > t2
+    near = np.where(swap, t2, t1)
+    far = np.where(swap, t1, t2)
+    # t_near = max(nx, ny, nz, t_min) as a left fold, like Python's max().
+    t_near = near[:, 0]
+    for v in (near[:, 1], near[:, 2], t_min):
+        t_near = np.where(v > t_near, v, t_near)
+    t_far = far[:, 0]
+    for v in (far[:, 1], far[:, 2], t_max):
+        t_far = np.where(v < t_far, v, t_far)
+    return t_near <= t_far, t_near
+
+
+class _VecState:
+    """Per-ray thread state as struct-of-arrays planes."""
+
+    def __init__(self, rays: RayBatch, hashes: Optional[np.ndarray]) -> None:
+        n = len(rays)
+        self.n = n
+        self.origin = np.asarray(rays.origins, dtype=np.float64)
+        self.direction = np.asarray(rays.directions, dtype=np.float64)
+        # 1/d matches _safe_inverse bit-for-bit: signed zeros give
+        # correctly-signed infinities.
+        with np.errstate(divide="ignore"):
+            self.inv_direction = 1.0 / self.direction
+        self.t_min = np.asarray(rays.t_min, dtype=np.float64)
+        self.t_max = np.asarray(rays.t_max, dtype=np.float64)
+        if hashes is not None:
+            self.ray_hash = np.asarray(hashes, dtype=np.uint64)
+        else:
+            self.ray_hash = np.zeros(n, dtype=np.uint64)
+        self.ready_time = np.zeros(n, dtype=np.int64)
+        self.done = np.zeros(n, dtype=bool)
+        self.trained = np.zeros(n, dtype=bool)
+        self.predicted = np.zeros(n, dtype=bool)
+        self.verified = np.zeros(n, dtype=bool)
+        self.restarted = np.zeros(n, dtype=bool)
+        self.hit_tri = np.full(n, -1, dtype=np.int64)
+        self.node_fetches = np.zeros(n, dtype=np.int64)
+        self.tri_fetches = np.zeros(n, dtype=np.int64)
+        self.verify_node_fetches = np.zeros(n, dtype=np.int64)
+        self.verify_tri_fetches = np.zeros(n, dtype=np.int64)
+        self.spills = np.zeros(n, dtype=np.int64)
+        # Traversal stacks: a (rays, capacity) plane plus explicit
+        # lengths; every stack starts holding the root.
+        self.stack = np.zeros((n, 16), dtype=np.int64)
+        self.stack_len = np.ones(n, dtype=np.int64)
+
+    def ensure_stack(self, need: int) -> None:
+        """Grow the stack plane to hold at least ``need`` entries."""
+        cap = self.stack.shape[1]
+        if need <= cap:
+            return
+        grown = np.zeros((self.n, max(need, 2 * cap)), dtype=np.int64)
+        grown[:, :cap] = self.stack
+        self.stack = grown
+
+
+@dataclass
+class _VecWarp:
+    """A resident warp over SoA state: member ray IDs plus metadata."""
+
+    members: np.ndarray
+    age: int
+    ready_time: int
+    from_collector: bool = False
+    inflight: Dict[int, int] = field(default_factory=dict)
+
+
+class VectorRTUnit:
+    """One SM's RT unit, vectorized; equivalent to :class:`RTUnit`."""
+
+    def __init__(
+        self,
+        bvh: FlatBVH,
+        config: GPUConfig,
+        memory: MemoryHierarchy,
+        predictor: Optional[RayPredictor] = None,
+    ) -> None:
+        self.bvh = bvh
+        self.config = config
+        self.rt = config.rt_unit
+        self.memory = memory
+        self.predictor = predictor
+        if config.predictor is not None and predictor is None:
+            self.predictor = RayPredictor(bvh, config.predictor)
+        self._left = bvh.left
+        self._right = bvh.right
+        self._first_tri = bvh.first_tri
+        self._tri_count = bvh.tri_count
+        self._lo = bvh.lo
+        self._hi = bvh.hi
+        self._v0 = np.asarray(bvh.mesh.v0, dtype=np.float64)
+        self._v1 = np.asarray(bvh.mesh.v1, dtype=np.float64)
+        self._v2 = np.asarray(bvh.mesh.v2, dtype=np.float64)
+        self._num_nodes = bvh.num_nodes
+        line_bytes = memory.config.l1.line_bytes
+        nodes = np.arange(bvh.num_nodes, dtype=np.int64)
+        tris = np.arange(bvh.num_triangles, dtype=np.int64)
+        self._node_line = (NODE_BASE_ADDRESS + NODE_SIZE_BYTES * nodes) // line_bytes
+        self._tri_line = (
+            TRIANGLE_BASE_ADDRESS + TRIANGLE_SIZE_BYTES * tris
+        ) // line_bytes
+        self._st: Optional[_VecState] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, rays: RayBatch) -> RTUnitResult:
+        """Trace every ray in ``rays`` (in order) and return statistics."""
+        with telemetry.span(
+            "rt_unit.run", rays=len(rays),
+            predictor=self.predictor is not None, engine="vector",
+        ) as sp:
+            result = self._run(rays)
+            sp.add(cycles=result.cycles, warp_steps=result.warp_steps)
+        publish_rt_unit_result(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Event loop (mirrors RTUnit._run at warp granularity)
+    # ------------------------------------------------------------------
+    def _run(self, rays: RayBatch) -> RTUnitResult:
+        hashes = None
+        if self.predictor is not None:
+            hashes = self.predictor.hash_batch(rays.origins, rays.directions)
+        st = self._st = _VecState(rays, hashes)
+        n = st.n
+        warp_size = self.rt.warp_size
+        pending = [
+            np.arange(i, min(i + warp_size, n), dtype=np.int64)
+            for i in range(0, n, warp_size)
+        ]
+        pending.reverse()  # pop() from the back yields original order
+
+        use_predictor = self.predictor is not None
+        repack = use_predictor and self.predictor.config.repack
+        extra = self.predictor.config.extra_warps if use_predictor else 0
+        buffer_capacity = (self.rt.max_warps + extra) * warp_size
+        collector = PartialWarpCollector(
+            warp_size=warp_size,
+            capacity=max(COLLECTOR_CAPACITY, warp_size),
+            timeout_cycles=self.config.collector_timeout,
+        )
+        collector_last_push = 0
+        collector_ready: List[List[int]] = []
+
+        heap: List[Tuple[int, int, _VecWarp]] = []
+        counter = itertools.count()
+        now = 0
+        resident = 0
+        buffer_used = 0
+        warps_executed = 0
+        collector_warps = 0
+        warp_steps = 0
+        active_thread_steps = 0
+        mis_nodes = 0
+        mis_tris = 0
+        box_tests = 0
+        tri_tests = 0
+        predictor_lookups = 0
+        predictor_updates = 0
+        guard_restarts = 0
+        retired_rays = 0
+        steps_since_retire = 0
+        watchdog_cycles = self.config.watchdog_cycles
+        watchdog_stall_steps = self.config.watchdog_stall_steps
+        l1_before = (self.memory.l1.stats.accesses, self.memory.l1.stats.hits)
+        l2_before = (self.memory.l2.stats.accesses, self.memory.l2.stats.hits)
+        dram_before = self.memory.dram.stats.accesses
+        dram_row_before = self.memory.dram.stats.row_hits
+
+        def launch(warp: _VecWarp) -> None:
+            nonlocal resident
+            resident += 1
+            heapq.heappush(heap, (warp.ready_time, warp.age, warp))
+
+        def dispatch_collector_ready(time: int) -> None:
+            nonlocal collector_warps
+            while collector_ready:
+                ids = collector_ready.pop(0)
+                collector_warps += 1
+                launch(
+                    _VecWarp(
+                        members=np.asarray(ids, dtype=np.int64),
+                        age=next(counter),
+                        ready_time=time + self.rt.queue_latency,
+                        from_collector=True,
+                    )
+                )
+
+        def admit_source(time: int) -> None:
+            nonlocal buffer_used, warps_executed, collector_last_push
+            nonlocal predictor_lookups
+            while pending and buffer_used + warp_size <= buffer_capacity:
+                group = pending.pop()
+                buffer_used += len(group)
+                ready = time + self.rt.queue_latency
+                if use_predictor:
+                    ready += self._predictor_stage(group)
+                    predictor_lookups += len(group)
+                    if repack:
+                        pm = st.predicted[group]
+                        predicted = group[pm]
+                        group = group[~pm]
+                        if len(predicted):
+                            for ids in collector.push([int(r) for r in predicted]):
+                                collector_ready.append(ids)
+                            collector_last_push = ready
+                            dispatch_collector_ready(ready)
+                        if not len(group):
+                            continue
+                warps_executed += 1
+                launch(_VecWarp(members=group, age=next(counter), ready_time=ready))
+
+        def drain_collector(time: int, force: bool) -> None:
+            nonlocal collector_last_push
+            if len(collector) == 0:
+                return
+            if not force and time - collector_last_push < collector.timeout_cycles:
+                return
+            while len(collector):
+                flushed = collector.flush(reason="final" if force else "timeout")
+                if not flushed:
+                    break
+                collector_ready.append(flushed)
+                if not force:
+                    break
+            collector_last_push = time
+            dispatch_collector_ready(time)
+
+        admit_source(0)
+        while heap or pending or len(collector) or collector_ready:
+            if not heap:
+                drain_collector(now, force=True)
+                dispatch_collector_ready(now)
+                admit_source(now)
+                if not heap:
+                    break
+            ready, _, warp = heapq.heappop(heap)
+            now = max(now, ready)
+            step = self._step_warp(warp, now)
+            warp_steps += 1
+            active_thread_steps += step.active_threads
+            mis_nodes += step.mis_node_fetches
+            mis_tris += step.mis_tri_fetches
+            box_tests += step.box_tests
+            tri_tests += step.tri_tests
+            predictor_updates += step.updates
+            guard_restarts += step.guard_restarts
+
+            retired_rays += step.retired
+            steps_since_retire = 0 if step.retired else steps_since_retire + 1
+            if (watchdog_cycles is not None and now > watchdog_cycles) or (
+                steps_since_retire > watchdog_stall_steps
+            ):
+                reason = (
+                    f"cycle cap {watchdog_cycles} exceeded"
+                    if watchdog_cycles is not None and now > watchdog_cycles
+                    else f"{steps_since_retire} warp iterations without a ray retiring"
+                )
+                raise SimulationStallError(
+                    f"RT-unit watchdog fired at cycle {now}: {reason} "
+                    f"({retired_rays}/{n} rays retired, "
+                    f"{resident} resident warps, {len(pending)} source warps pending)",
+                    cycles=now,
+                    diagnostics={
+                        "retired_rays": retired_rays,
+                        "total_rays": n,
+                        "resident_warps": resident,
+                        "pending_source_warps": len(pending),
+                        "buffer_used": buffer_used,
+                        "warp_steps": warp_steps,
+                        "collector_occupancy": len(collector),
+                    },
+                )
+
+            if step.finished:
+                resident -= 1
+                buffer_used -= len(warp.members)
+                dispatch_collector_ready(step.end_time)
+                admit_source(step.end_time)
+            else:
+                warp.ready_time = step.end_time
+                heapq.heappush(heap, (step.end_time, warp.age, warp))
+
+            if repack:
+                drain_collector(now, force=False)
+
+        l1 = self.memory.l1.stats
+        l2 = self.memory.l2.stats
+        dram = self.memory.dram.stats
+        return RTUnitResult(
+            cycles=now,
+            rays=n,
+            hits=int((st.hit_tri >= 0).sum()),
+            predicted=int(st.predicted.sum()),
+            verified=int(st.verified.sum()),
+            node_fetches=int(st.node_fetches.sum()),
+            tri_fetches=int(st.tri_fetches.sum()),
+            misprediction_node_fetches=mis_nodes,
+            misprediction_tri_fetches=mis_tris,
+            box_tests=box_tests,
+            tri_tests=tri_tests,
+            warps_executed=warps_executed + collector_warps,
+            warp_steps=warp_steps,
+            active_thread_steps=active_thread_steps,
+            stack_spills=int(st.spills.sum()),
+            l1_accesses=l1.accesses - l1_before[0],
+            l1_hits=l1.hits - l1_before[1],
+            l2_accesses=l2.accesses - l2_before[0],
+            l2_hits=l2.hits - l2_before[1],
+            dram_accesses=dram.accesses - dram_before,
+            dram_bank_parallelism=dram.bank_parallelism(
+                self.memory.dram.config.num_banks
+            ),
+            predictor_lookups=predictor_lookups,
+            predictor_updates=predictor_updates,
+            collector_warps=collector_warps,
+            collector_timeout_flushes=collector.stats.timeout_flushes,
+            guard_restarts=guard_restarts,
+            dram_row_hits=dram.row_hits - dram_row_before,
+        )
+
+    # ------------------------------------------------------------------
+    # Predictor stage (batched lookups, scalar-equivalent stacks)
+    # ------------------------------------------------------------------
+    def _predictor_stage(self, group: np.ndarray) -> int:
+        assert self.predictor is not None
+        st = self._st
+        config = self.predictor.config
+        if self.predictor.supports_batch:
+            nodes, counts = self.predictor.predict_batch(st.ray_hash[group])
+            hitm = counts > 0
+            rows = group[hitm]
+            if len(rows):
+                c = counts[hitm]
+                st.ensure_stack(int(c.max()) + 1)
+                st.predicted[rows] = True
+                st.stack[rows, 0] = _RESTART_SENTINEL
+                picked = nodes[hitm]
+                # Scalar layout: [SENTINEL] + reversed(nodes), so list
+                # slot j lands at stack position c - j (position c pops
+                # first).
+                for j in range(picked.shape[1]):
+                    sel = c > j
+                    st.stack[rows[sel], (c - j)[sel]] = picked[sel, j]
+                st.stack_len[rows] = 1 + c
+        else:
+            # Fault-injection proxies (FaultyPredictor) have no batch
+            # surface; fall back to per-ray lookups in member order.
+            for r in group:
+                r = int(r)
+                nodes = self.predictor.predict(int(st.ray_hash[r]))
+                if nodes:
+                    k = len(nodes)
+                    st.ensure_stack(k + 1)
+                    st.predicted[r] = True
+                    st.stack[r, 0] = _RESTART_SENTINEL
+                    st.stack[r, 1 : k + 1] = nodes[::-1]
+                    st.stack_len[r] = k + 1
+        ports = max(1, config.ports)
+        return (len(group) + ports - 1) // ports + config.lookup_latency
+
+    # ------------------------------------------------------------------
+    # One warp iteration, vectorized across ready threads
+    # ------------------------------------------------------------------
+    def _step_warp(self, warp: _VecWarp, now: int) -> _StepOutcome:
+        st = self._st
+        rt = self.rt
+        members = warp.members
+        out = _StepOutcome(end_time=now, finished=False, active_threads=0)
+
+        m_done = st.done[members]
+        if rt.warp_barrier:
+            considered = ~m_done
+        else:
+            considered = ~m_done & (st.ready_time[members] <= now + rt.coalesce_window)
+        cand = members[considered]
+        cand_len = st.stack_len[cand]
+
+        # Threads whose stack drained without a hit retire as scene
+        # misses (no predictor interaction: hit_tri stays -1).
+        empty = cand_len == 0
+        if empty.any():
+            rows = cand[empty]
+            st.done[rows] = True
+            self._retire_rows(rows, out)
+            live = ~empty
+            parts = cand[live]
+            top_pos = cand_len[live] - 1
+        else:
+            parts = cand
+            top_pos = cand_len - 1
+        k = len(parts)
+        out.active_threads = k
+        if not k:
+            alive = ~st.done[members]
+            if alive.any():
+                out.end_time = max(now + 1, int(st.ready_time[members[alive]].min()))
+                out.finished = False
+            else:
+                out.end_time = now + 1
+                out.finished = True
+            return out
+
+        # Pop one stack entry per participant.
+        node = st.stack[parts, top_pos]
+        st.stack_len[parts] = top_pos
+
+        neg = node < 0
+        if neg.any() or (node >= self._num_nodes).any():
+            node = self._recover_bad_pops(parts, node, out)
+
+        # Verification accounting uses post-restart flags; `restarted`
+        # was just updated for this step's sentinel/guard threads.
+        ver = st.predicted[parts]
+        if ver.any():
+            ver &= ~st.restarted[parts]
+            ver &= ~st.verified[parts]
+
+        is_leaf = self._left[node] < 0
+        any_leaf = is_leaf.any()
+        im = ~is_leaf
+
+        # ---------------- interior threads ----------------
+        rows_i = parts[im] if any_leaf else parts
+        k_i = len(rows_i)
+        if k_i:
+            nodes_i = node[im] if any_leaf else node
+            st.node_fetches[rows_i] += 1
+            vi = ver[im] if any_leaf else ver
+            if vi.any():
+                st.verify_node_fetches[rows_i[vi]] += 1
+            child = self._left[nodes_i]
+            other = self._right[nodes_i]
+            # One merged slab call for both children: rows duplicated,
+            # left boxes in the first half, right boxes in the second.
+            rows2 = np.concatenate([rows_i, rows_i])
+            nodes2 = np.concatenate([child, other])
+            hit2, t2 = _slab_exact(
+                st.origin[rows2],
+                st.inv_direction[rows2],
+                st.t_min[rows2],
+                st.t_max[rows2],
+                self._lo[nodes2],
+                self._hi[nodes2],
+            )
+            hit_l, hit_r = hit2[:k_i], hit2[k_i:]
+            t_l, t_r = t2[:k_i], t2[k_i:]
+            out.box_tests += 2 * k_i
+
+            n_push = hit_l.astype(np.int64)
+            n_push += hit_r
+            both = hit_l & hit_r
+            near_first = t_l <= t_r
+            first = np.where(
+                both,
+                np.where(near_first, other, child),
+                np.where(hit_l, child, other),
+            )
+            base = st.stack_len[rows_i]
+            st.ensure_stack(int((base + n_push).max()))
+            one = n_push >= 1
+            st.stack[rows_i[one], base[one]] = first[one]
+            two = n_push == 2
+            if two.any():
+                second = np.where(near_first, child, other)
+                st.stack[rows_i[two], base[two] + 1] = second[two]
+            st.stack_len[rows_i] = base + n_push
+
+        # ---------------- leaf threads ----------------
+        hrows = ()
+        if any_leaf:
+            rows_l = parts[is_leaf]
+            nodes_l = node[is_leaf]
+            counts = self._tri_count[nodes_l]
+            starts = self._first_tri[nodes_l]
+            vl = ver[is_leaf]
+            total = int(counts.sum())
+            kl = len(rows_l)
+            seg = np.repeat(np.arange(kl), counts)
+            pos = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            tris = starts[seg] + pos
+            rseg = rows_l[seg]
+            t = ray_triangle_intersect_batch(
+                st.origin[rseg],
+                st.direction[rseg],
+                st.t_min[rseg],
+                st.t_max[rseg],
+                self._v0[tris],
+                self._v1[tris],
+                self._v2[tris],
+            )
+            hitp = t < np.inf
+            first_pos = np.full(kl, _NO_HIT, dtype=np.int64)
+            if hitp.any():
+                np.minimum.at(first_pos, seg[hitp], pos[hitp])
+            hit_any = first_pos < _NO_HIT
+            tests = np.where(hit_any, first_pos + 1, counts)
+
+            st.tri_fetches[rows_l] += tests
+            if vl.any():
+                st.verify_tri_fetches[rows_l[vl]] += tests[vl]
+            out.tri_tests += int(tests.sum())
+            hrows = rows_l[hit_any]
+            if len(hrows):
+                st.hit_tri[hrows] = starts[hit_any] + first_pos[hit_any]
+                st.done[hrows] = True
+                verified_rows = rows_l[hit_any & vl]
+                if len(verified_rows):
+                    st.verified[verified_rows] = True
+        # Per-participant intersection latency and line counts.
+        latency = np.full(k, rt.box_test_latency + 1, dtype=np.int64)
+        if any_leaf:
+            latency[is_leaf] = rt.tri_test_latency + np.maximum(0, tests - 1)
+
+        # Spill penalty applies to the post-push stack depth of every
+        # participant (interior or leaf), matching the scalar check.
+        spill = st.stack_len[parts] > rt.stack_entries
+        if spill.any():
+            st.spills[parts[spill]] += 1
+            latency[spill] += rt.stack_spill_penalty
+
+        # ---------------- memory stage ----------------
+        # Assemble each participant's line requests in exact scalar
+        # order (member order; a leaf's lines in triangle order up to
+        # its early exit), then dedup by first occurrence - the scalar
+        # `dict.setdefault` MSHR sequence.  Only the walk over *unique*
+        # lines stays a Python loop: it mutates sequential port, cache
+        # and DRAM-bank state line by line.
+        if any_leaf:
+            nlines = np.ones(k, dtype=np.int64)
+            nlines[is_leaf] = tests
+            offsets = np.cumsum(nlines) - nlines
+            total_lines = int(offsets[-1] + nlines[-1])
+            all_lines = np.empty(total_lines, dtype=np.int64)
+            if k_i:
+                all_lines[offsets[im]] = self._node_line[nodes_i]
+            # A leaf's kept lines are triangle positions 0..tests-1 -
+            # contiguous - so they scatter to offset + position.
+            kept = pos < tests[seg]
+            all_lines[offsets[is_leaf][seg[kept]] + pos[kept]] = (
+                self._tri_line[tris[kept]]
+            )
+        else:
+            nlines = None
+            all_lines = self._node_line[nodes_i]
+
+        uniq, first_idx, inverse = np.unique(
+            all_lines, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first_idx)
+
+        start = self.memory.acquire_scheduler_slot(now)
+        inflight = warp.inflight
+        access_line = self.memory.access_line_time
+        inflight_cap = 4 * rt.warp_size
+        uniq_list = uniq.tolist()
+        ready_list = [0] * len(uniq_list)
+        for j in order.tolist():
+            line = uniq_list[j]
+            pending = inflight.get(line)
+            if pending is not None and pending >= start:
+                ready_list[j] = pending
+                continue
+            ready = access_line(line, start)
+            ready_list[j] = ready
+            inflight[line] = ready
+            if len(inflight) > inflight_cap:
+                warp.inflight = {
+                    ln: tm for ln, tm in inflight.items() if tm >= start
+                }
+                inflight = warp.inflight
+        ready_by_uniq = np.array(ready_list, dtype=np.int64)
+
+        # max over the thread's line-completion times; `start + 1` only
+        # when it requested no lines (a merged in-flight line may have
+        # completed at `start` itself, below that default).
+        if any_leaf:
+            owners = np.repeat(np.arange(k), nlines)
+            data_ready = np.full(k, np.iinfo(np.int64).min, dtype=np.int64)
+            np.maximum.at(data_ready, owners, ready_by_uniq[inverse])
+            data_ready[nlines == 0] = start + 1
+        else:
+            # Exactly one line per interior thread.
+            data_ready = ready_by_uniq[inverse]
+        residual = np.maximum(0, st.ready_time[parts] - now)
+        st.ready_time[parts] = np.maximum(data_ready, start + residual) + latency
+
+        # Retire freshly-hit leaf threads in member order (train order
+        # must match the scalar engine's predictor-stamp sequence).
+        if len(hrows):
+            self._retire_rows(hrows, out)
+
+        m_done = st.done[members]
+        if m_done.all():
+            out.end_time = max(now + 1, int(st.ready_time[members].max()))
+            out.finished = True
+        else:
+            rem = st.ready_time[members[~m_done]]
+            pick = int(rem.max() if rt.warp_barrier else rem.min())
+            out.end_time = max(now + 1, pick)
+            out.finished = False
+        return out
+
+    def _recover_bad_pops(
+        self, parts: np.ndarray, node: np.ndarray, out: _StepOutcome
+    ) -> np.ndarray:
+        """Handle restart sentinels and guard-invalid popped nodes."""
+        st = self._st
+        sent = node == _RESTART_SENTINEL
+        if sent.any():
+            rows = parts[sent]
+            out.mis_node_fetches += int(st.verify_node_fetches[rows].sum())
+            out.mis_tri_fetches += int(st.verify_tri_fetches[rows].sum())
+            st.restarted[rows] = True
+            node = np.where(sent, 0, node)
+        invalid = ~sent & ((node < 0) | (node >= self._num_nodes))
+        if invalid.any():
+            rows = parts[invalid]
+            already = st.restarted[rows]
+            if already.any():
+                pos = int(already.argmax())
+                raise TraversalError(
+                    f"ray {int(rows[pos])} popped invalid node "
+                    f"{int(node[invalid][pos])} "
+                    "after a guard restart (corrupted traversal state)",
+                    bad_nodes=[int(node[invalid][pos])],
+                    num_nodes=self._num_nodes,
+                )
+            out.mis_node_fetches += int(st.verify_node_fetches[rows].sum())
+            out.mis_tri_fetches += int(st.verify_tri_fetches[rows].sum())
+            out.guard_restarts += len(rows)
+            st.restarted[rows] = True
+            st.stack_len[rows] = 0
+            node = np.where(invalid, 0, node)
+        return node
+
+    # ------------------------------------------------------------------
+    def _retire_rows(self, rows: np.ndarray, out: _StepOutcome) -> None:
+        """Train/confirm per retired ray, in member order (scalar parity)."""
+        st = self._st
+        predictor = self.predictor
+        for r in rows:
+            r = int(r)
+            if st.trained[r]:
+                continue
+            st.trained[r] = True
+            out.retired += 1
+            tri = int(st.hit_tri[r])
+            if tri >= 0 and predictor is not None:
+                h = int(st.ray_hash[r])
+                predictor.train(h, tri)
+                out.updates += 1
+                if st.verified[r]:
+                    predictor.confirm(h, predictor.trained_node_for(tri))
+
+
+def make_rt_unit(
+    engine: str,
+    bvh: FlatBVH,
+    config: GPUConfig,
+    memory: MemoryHierarchy,
+    predictor: Optional[RayPredictor] = None,
+):
+    """Construct an RT-unit timing engine by name.
+
+    ``"vector"`` is the SoA default; ``"scalar"`` is the per-thread
+    reference stepper kept as the differential oracle.
+    """
+    if engine == "vector":
+        return VectorRTUnit(bvh, config, memory, predictor=predictor)
+    if engine == "scalar":
+        return RTUnit(bvh, config, memory, predictor=predictor)
+    raise ValueError(
+        f"unknown RT-unit engine {engine!r}; expected one of {RT_ENGINES}"
+    )
+
+
+__all__ = ["RT_ENGINES", "VectorRTUnit", "make_rt_unit"]

@@ -41,15 +41,15 @@ class TestWorkflowStructure:
     def test_parses_and_has_expected_jobs(self, workflow):
         assert set(workflow["jobs"]) == {
             "test", "lint", "benchmark-smoke", "telemetry-smoke",
-            "chaos-smoke",
+            "chaos-smoke", "timing-smoke",
         }
 
     def test_python_matrix_spans_supported_range(self, workflow):
         versions = workflow["jobs"]["test"]["strategy"]["matrix"]["python-version"]
         # pyproject declares requires-python >= 3.9; CI must cover both
-        # ends of the supported range.
+        # ends of the supported range plus the newest release.
         assert "3.9" in versions
-        assert any(v.startswith("3.1") for v in versions)
+        assert "3.13" in versions
 
     def test_triggers_on_push_and_pr(self, workflow):
         # PyYAML 1.1 parses the bare `on:` key as boolean True.
@@ -59,6 +59,37 @@ class TestWorkflowStructure:
 
     def test_hypothesis_examples_capped(self, workflow):
         assert "HYPOTHESIS_MAX_EXAMPLES" in workflow.get("env", {})
+
+    def test_concurrency_cancels_superseded_runs(self, workflow):
+        group = workflow.get("concurrency", {})
+        # A push to an open PR must cancel the run it supersedes; the
+        # group key has to vary per ref or runs would cancel each other
+        # across branches.
+        assert "ref" in str(group.get("group", ""))
+        assert "cancel-in-progress" in group
+
+
+class TestArtifactCache:
+    def test_artifact_cache_env_points_at_cached_path(self, workflow):
+        # Smoke jobs build the same seven BVHs; REPRO_ARTIFACT_CACHE
+        # enables the content-addressed store and actions/cache persists
+        # it across runs.
+        assert workflow.get("env", {}).get("REPRO_ARTIFACT_CACHE")
+
+    @pytest.mark.parametrize(
+        "job", ["benchmark-smoke", "chaos-smoke", "timing-smoke"]
+    )
+    def test_smoke_jobs_restore_bvh_cache(self, workflow, job):
+        cache_steps = [
+            step for step in workflow["jobs"][job]["steps"]
+            if "actions/cache" in step.get("uses", "")
+        ]
+        assert cache_steps, f"{job} must restore the BVH artifact cache"
+        cache_path = workflow["env"]["REPRO_ARTIFACT_CACHE"]
+        assert cache_steps[0]["with"]["path"] == cache_path
+        # The key must invalidate when the on-disk format changes
+        # (repro.bvh.io.FORMAT_VERSION lives in io.py).
+        assert "src/repro/bvh/io.py" in cache_steps[0]["with"]["key"]
 
 
 class TestBenchmarkGate:
@@ -136,6 +167,33 @@ class TestChaosGate:
             for step in workflow["jobs"]["chaos-smoke"]["steps"]
         ]
         assert any("SIM_chaos.json" in p for p in paths)
+
+
+class TestTimingGate:
+    def test_smoke_job_runs_timing_preset_check(self, workflow):
+        runs = [
+            step.get("run", "")
+            for step in workflow["jobs"]["timing-smoke"]["steps"]
+        ]
+        gate = [r for r in runs if "repro bench --preset timing" in r]
+        assert gate, "timing-smoke must run the timing preset"
+        # --quick keeps the pinned workload but times a single repeat;
+        # --check fails the build on cycle/counter drift.
+        assert any("--quick" in r and "--check" in r for r in gate)
+
+    def test_committed_timing_baseline_exists_for_gate(self):
+        baseline = os.path.join(
+            os.path.dirname(WORKFLOW), "..", "..",
+            "benchmarks", "baselines", "BENCH_timing.json",
+        )
+        assert os.path.exists(baseline)
+
+    def test_uploads_artifact(self, workflow):
+        paths = [
+            step.get("with", {}).get("path", "")
+            for step in workflow["jobs"]["timing-smoke"]["steps"]
+        ]
+        assert any("BENCH_timing.json" in p for p in paths)
 
 
 class TestTelemetryGate:

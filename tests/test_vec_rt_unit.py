@@ -1,0 +1,160 @@
+"""Differential tests: the vectorized RT-unit vs the scalar oracle.
+
+The vectorized engine (:mod:`repro.gpu.vec_rt_unit`) is a performance
+rewrite, not a remodel: it must produce the *same* :class:`RTUnitResult`
+as the scalar stepper — cycle counts, every fetch/test counter, and the
+cache/DRAM statistics — for any configuration.  These tests pin that
+contract on the shared test scene across config variants, plus a
+Hypothesis property over small warp shapes, mirroring the
+``test_vectable.py``-vs-``table.py`` pattern used for the predictor
+pipeline.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import PredictorConfig
+from repro.gpu import (
+    GPUConfig,
+    MemoryHierarchy,
+    RT_ENGINES,
+    make_rt_unit,
+    simulate_workload,
+)
+from repro.gpu.config import CacheConfig, MemoryConfig, RTUnitConfig
+
+PC = PredictorConfig(origin_bits=3, direction_bits=2, go_up_level=2)
+
+
+def run_engine(engine, bvh, rays, predictor_config=None, **gpu_overrides):
+    config = GPUConfig(num_sms=1, predictor=predictor_config, **gpu_overrides)
+    memory = MemoryHierarchy(config.memory)
+    unit = make_rt_unit(engine, bvh, config, memory)
+    return unit.run(rays)
+
+
+def run_both(bvh, rays, predictor_config=None, **gpu_overrides):
+    return tuple(
+        run_engine(engine, bvh, rays, predictor_config, **gpu_overrides)
+        for engine in ("scalar", "vector")
+    )
+
+
+class TestEngineEquivalence:
+    """Scalar and vector engines agree on the full result dataclass."""
+
+    def test_baseline_identical(self, small_bvh, small_workload):
+        scalar, vector = run_both(small_bvh, small_workload.rays)
+        assert scalar == vector
+
+    def test_predictor_identical(self, small_bvh, small_workload):
+        scalar, vector = run_both(small_bvh, small_workload.rays, PC)
+        assert scalar == vector
+
+    def test_predictor_no_repack_identical(self, small_bvh, small_workload):
+        scalar, vector = run_both(
+            small_bvh, small_workload.rays, PC.with_overrides(repack=False)
+        )
+        assert scalar == vector
+
+    def test_warp_barrier_identical(self, small_bvh, small_workload):
+        scalar, vector = run_both(
+            small_bvh, small_workload.rays,
+            rt_unit=RTUnitConfig(warp_barrier=True),
+        )
+        assert scalar == vector
+
+    @pytest.mark.parametrize("warp_size", [8, 32, 128])
+    def test_warp_sizes_identical(self, small_bvh, small_workload, warp_size):
+        scalar, vector = run_both(
+            small_bvh, small_workload.rays, PC,
+            rt_unit=RTUnitConfig(warp_size=warp_size),
+        )
+        assert scalar == vector
+
+    def test_tiny_caches_identical(self, small_bvh, small_workload):
+        # Thrashing caches exercise the DRAM/bank-timing paths hard.
+        memory = MemoryConfig(
+            l1=CacheConfig(size_bytes=512, ways=2),
+            l2=CacheConfig(size_bytes=2048, ways=2),
+        )
+        scalar, vector = run_both(
+            small_bvh, small_workload.rays, PC, memory=memory
+        )
+        assert scalar == vector
+
+    def test_tiny_stack_spills_identical(self, small_bvh, small_workload):
+        scalar, vector = run_both(
+            small_bvh, small_workload.rays,
+            rt_unit=RTUnitConfig(stack_entries=4),
+        )
+        assert scalar == vector
+        assert scalar.stack_spills > 0
+
+    @given(
+        warp_size=st.integers(min_value=2, max_value=24),
+        max_warps=st.integers(min_value=1, max_value=3),
+        warp_barrier=st.booleans(),
+        n_rays=st.integers(min_value=1, max_value=48),
+    )
+    def test_property_small_warp_configs(
+        self, small_bvh, small_workload, warp_size, max_warps, warp_barrier,
+        n_rays,
+    ):
+        rays = small_workload.rays.subset(range(n_rays))
+        scalar, vector = run_both(
+            small_bvh, rays, PC,
+            rt_unit=RTUnitConfig(
+                warp_size=warp_size,
+                max_warps=max_warps,
+                warp_barrier=warp_barrier,
+            ),
+        )
+        assert scalar == vector
+
+
+class TestDeterminism:
+    """Same seed + config ⇒ bit-identical runs, per engine and across."""
+
+    @pytest.mark.parametrize("engine", RT_ENGINES)
+    def test_repeat_runs_identical(self, small_bvh, small_workload, engine):
+        a = run_engine(engine, small_bvh, small_workload.rays, PC)
+        b = run_engine(engine, small_bvh, small_workload.rays, PC)
+        assert a == b
+
+    def test_simulate_workload_engines_agree(self, small_bvh, small_workload):
+        config = GPUConfig(num_sms=2, predictor=PC)
+        vec = simulate_workload(
+            small_bvh, small_workload.rays, config, engine="vector"
+        )
+        sca = simulate_workload(
+            small_bvh, small_workload.rays, config, engine="scalar"
+        )
+        assert vec.per_sm == sca.per_sm
+        assert vec.cycles == sca.cycles
+        assert vec.dram_row_hits == sca.dram_row_hits
+
+
+class TestSharding:
+    def test_sharded_matches_serial_private_l2(self, small_bvh, small_workload):
+        config = GPUConfig(num_sms=2, shared_l2=False)
+        serial = simulate_workload(small_bvh, small_workload.rays, config)
+        sharded = simulate_workload(
+            small_bvh, small_workload.rays, config, sm_jobs=2
+        )
+        assert serial.per_sm == sharded.per_sm
+
+    def test_sharding_rejects_shared_l2(self, small_bvh, small_workload):
+        with pytest.raises(ValueError):
+            simulate_workload(
+                small_bvh, small_workload.rays,
+                GPUConfig(num_sms=2, shared_l2=True), sm_jobs=2,
+            )
+
+    def test_unknown_engine_rejected(self, small_bvh, small_workload):
+        with pytest.raises(ValueError):
+            simulate_workload(
+                small_bvh, small_workload.rays, GPUConfig(num_sms=1),
+                engine="simd",
+            )

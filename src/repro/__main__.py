@@ -8,7 +8,9 @@ Commands:
     bench             scalar-vs-wavefront timing, BENCH_*.json artifacts
     simulate          resilient multi-scene predictor sweep, SIM_*.json
     telemetry         instrumented run, telemetry.json + summary
-    report            stitch results/*.txt into a single REPORT.md
+    report            stitch results/*.txt into REPORT.md; --ledger builds
+                      a run ledger over BENCH_*/SIM_*.json artifacts and
+                      --compare diffs two runs (regression gate)
 
 Resilience (``bench`` and ``simulate``): ``--resume`` continues a sweep
 from its checkpoint without re-running completed scenes; ``--supervise``
@@ -267,6 +269,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(summarize(payload))
     path = write_payload(payload, args.out)
     print(f"wrote {path}")
+    if args.trace_out:
+        import json
+
+        from repro.telemetry import distributed
+
+        events = distributed.stitched_chrome_trace()
+        directory = os.path.dirname(args.trace_out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump({"traceEvents": events}, handle)
+            handle.write("\n")
+        print(f"wrote {args.trace_out} (open in chrome://tracing or Perfetto)")
     if args.check:
         problems = check_against_baselines(
             payload, args.baselines, tolerance=args.tolerance
@@ -367,6 +382,44 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.compare:
+        from repro.telemetry.ledger import (
+            compare_runs,
+            counter_deltas,
+            load_artifact,
+            render_counter_deltas,
+        )
+
+        old_path, new_path = args.compare
+        old = load_artifact(old_path)
+        new = load_artifact(new_path)
+        print(f"comparing {old_path} (old) -> {new_path} (new)")
+        print(render_counter_deltas(counter_deltas(old, new)))
+        problems = compare_runs(old, new, tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"regression check passed (tolerance {args.tolerance:.0%})")
+        return 0
+    if args.ledger:
+        from repro.telemetry.ledger import build_ledger, render_trends
+
+        ledger = build_ledger(args.ledger)
+        rendered = render_trends(ledger)
+        print(rendered)
+        if args.ledger_out:
+            import json
+            import os
+
+            directory = os.path.dirname(args.ledger_out)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(args.ledger_out, "w", encoding="utf-8") as handle:
+                json.dump(ledger, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.ledger_out}")
+        return 0
     from repro.analysis.report import write_report
 
     write_report(args.results, args.output)
@@ -447,6 +500,10 @@ def main(argv: list[str] | None = None) -> int:
                        default=argparse.SUPPRESS,
                        help="collect metrics during the run and embed a "
                        "telemetry section in the BENCH artifact")
+    bench.add_argument("--trace-out", default=None, dest="trace_out",
+                       help="write the stitched Chrome trace (parent + all "
+                       "--jobs workers) to this JSON file; requires "
+                       "--telemetry")
     _add_parallel_args(bench)
     _add_resilience_args(bench)
 
@@ -502,9 +559,30 @@ def main(argv: list[str] | None = None) -> int:
                       help="validate the artifact against the schema; "
                       "exit 1 on problems")
 
-    report = sub.add_parser("report", help="collect results/ into REPORT.md")
+    report = sub.add_parser(
+        "report",
+        help="collect results/ into REPORT.md, or index/compare artifacts",
+        description="Default mode stitches results/*.txt into REPORT.md. "
+        "--ledger indexes BENCH_*.json / SIM_*.json artifacts into a "
+        "repro-ledger/1 run ledger with per-scene trend tables; "
+        "--compare OLD NEW prints telemetry counter deltas between two "
+        "artifacts and exits 1 if the regression gate fires.",
+    )
     report.add_argument("--results", default="results")
     report.add_argument("--output", default="REPORT.md")
+    report.add_argument("--ledger", nargs="+", metavar="PATH", default=None,
+                        help="artifact files or directories to index into "
+                        "a run ledger (trend tables, oldest run first)")
+    report.add_argument("--ledger-out", default=None, dest="ledger_out",
+                        metavar="FILE",
+                        help="also write the repro-ledger/1 JSON here")
+    report.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                        default=None,
+                        help="diff two artifacts: counter deltas plus the "
+                        "regression gate (exit 1 on regression)")
+    report.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed relative regression for --compare "
+                        "(default 0.2)")
 
     args = parser.parse_args(argv)
     if args.telemetry:

@@ -37,7 +37,10 @@ across worker processes.  Every unit is a pure function of the pinned
 preset, so the payload is byte-identical to a serial run modulo the
 timing fields (``wall_time_s`` / ``rays_per_sec``); checkpoints are
 written by the parent as workers complete, so ``--jobs`` composes with
-``--resume`` after a mid-sweep kill.  The opt-in BVH artifact cache
+``--resume`` after a mid-sweep kill.  With telemetry enabled, each
+worker ships its metrics/span snapshot back on the result path and the
+parent merges them in scene order (:mod:`repro.telemetry.distributed`),
+so the artifact's ``telemetry`` section matches a serial run's.  The opt-in BVH artifact cache
 (``--artifact-cache DIR``, :mod:`repro.bvh.cache`) lets those workers -
 and repeated sweeps - skip redundant SAH builds; when enabled, its
 identity joins the checkpoint fingerprint so cached and uncached runs
@@ -57,6 +60,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.bvh.cache import cached_build_bvh, configure_artifact_cache, get_artifact_cache
+from repro.errors import TelemetryAggregationError
 from repro.core.simulate import simulate_baseline, simulate_predictor
 from repro.faults.injector import UnitFaultPlan
 from repro.rays import generate_ao_workload
@@ -68,6 +72,7 @@ from repro.resilience import (
     UnitEntry,
 )
 from repro.scenes import get_scene
+from repro.telemetry import distributed
 from repro.trace import TraversalStats, trace_closest_batch, trace_occlusion_batch
 from repro.trace.wavefront import ENGINES
 
@@ -445,12 +450,24 @@ def _plain_unit_worker(
     code: str,
     engines: Tuple[str, ...],
     cache_root: Optional[str],
-) -> List[dict]:
-    """One fail-fast scene unit in a ``--jobs`` worker process."""
+    telemetry_on: bool = False,
+    ambient_labels: Optional[Dict[str, str]] = None,
+) -> dict:
+    """One fail-fast scene unit in a ``--jobs`` worker process.
+
+    Returns the unit's records plus the worker's telemetry snapshot
+    (``None`` with telemetry off), which rides the normal result path
+    back to the parent for :func:`distributed.absorb_snapshot`.
+    """
     if cache_root:
         configure_artifact_cache(cache_root)
+    distributed.init_worker(telemetry_on, ambient_labels)
     quiet = lambda msg: None  # noqa: E731 - workers report via the parent
-    return [asdict(rec) for rec in _scene_records(preset, code, engines, quiet)]
+    records = [asdict(rec) for rec in _scene_records(preset, code, engines, quiet)]
+    return {
+        "records": records,
+        "telemetry": distributed.capture_snapshot(unit=code),
+    }
 
 
 def _supervised_unit_worker(
@@ -460,6 +477,8 @@ def _supervised_unit_worker(
     options: ResilienceOptions,
     fault_plan: Optional[UnitFaultPlan],
     cache_root: Optional[str],
+    telemetry_on: bool = False,
+    ambient_labels: Optional[Dict[str, str]] = None,
 ) -> dict:
     """One supervised scene unit in a ``--jobs`` worker process.
 
@@ -467,9 +486,13 @@ def _supervised_unit_worker(
     fresh single-unit :class:`RunSupervisor` built from the same
     options, so backoff schedules stay seeded per unit and independent
     of sharding); the parent owns the checkpoint and the manifest.
+    The telemetry snapshot is captured *after* the supervisor settles,
+    so a unit that degraded or was skipped still ships whatever partial
+    metrics and spans its attempts recorded.
     """
     if cache_root:
         configure_artifact_cache(cache_root)
+    distributed.init_worker(telemetry_on, ambient_labels)
     supervisor = RunSupervisor.from_options(options)
 
     def make_fn(rung: str):
@@ -493,6 +516,7 @@ def _supervised_unit_worker(
         "records": [asdict(rec) for rec in (outcome.value or [])],
         "entry": outcome.entry.to_dict(),
         "supervisor": supervisor.describe(),
+        "telemetry": distributed.capture_snapshot(unit=code),
     }
 
 
@@ -517,6 +541,7 @@ def run_benchmarks(
     resilience: Optional[ResilienceOptions] = None,
     fault_plan: Optional[UnitFaultPlan] = None,
     jobs: int = 1,
+    aggregate_telemetry: bool = True,
 ) -> dict:
     """Run the full benchmark matrix for ``preset``.
 
@@ -534,15 +559,30 @@ def run_benchmarks(
             (implies supervision even when ``resilience`` is None).
         jobs: worker processes sharding the scene units (1 = in
             process).  Results are deterministic, so the payload matches
-            a serial run except for the timing fields - though with
-            telemetry enabled, worker-side metrics stay in the workers
-            (parallel timing runs are for throughput, not profiles).
+            a serial run except for the timing fields.  With telemetry
+            enabled, each worker ships its metrics/span snapshot back on
+            the result path and the parent merges them
+            (:mod:`repro.telemetry.distributed`), so the artifact's
+            ``telemetry`` section equals the label-wise sum of the
+            per-worker snapshots - identical in shape to a serial run.
+        aggregate_telemetry: merge worker telemetry snapshots into the
+            parent registry (the default).  Setting this ``False`` on a
+            sharded run with telemetry enabled raises
+            :class:`~repro.errors.TelemetryAggregationError` - worker
+            metrics must never be dropped silently.
 
     Returns:
         The artifact payload (JSON-serializable dict).
     """
     say = progress or (lambda msg: None)
     scene_codes = tuple(scenes) if scenes else preset.scenes
+    if not aggregate_telemetry and telemetry.enabled() and jobs > 1:
+        raise TelemetryAggregationError(
+            "telemetry is enabled and the sweep is sharded "
+            f"(--jobs {jobs}), but telemetry aggregation is disabled; "
+            "worker-side metrics would be dropped silently - re-enable "
+            "aggregation, run serially, or disable telemetry"
+        )
     if resilience is None and fault_plan is None:
         if jobs > 1 and len(scene_codes) > 1:
             records = _run_plain_parallel(
@@ -569,21 +609,27 @@ def _run_plain_parallel(
     """Fail-fast sweep sharded across processes, aggregated in order."""
     cache = get_artifact_cache()
     cache_root = cache.root if cache else None
+    telemetry_on = telemetry.enabled()
+    ambient = telemetry.current_labels() if telemetry_on else None
     workers = min(jobs, len(scene_codes))
     say(f"sharding {len(scene_codes)} scene unit(s) across {workers} workers")
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
             code: pool.submit(
-                _plain_unit_worker, preset, code, tuple(engines), cache_root
+                _plain_unit_worker, preset, code, tuple(engines), cache_root,
+                telemetry_on, ambient,
             )
             for code in scene_codes
         }
         records: List[BenchRecord] = []
         # Aggregate in scene order regardless of completion order, so
-        # the artifact is identical to a serial run's.
+        # the artifact - including the merged telemetry registry, whose
+        # gauges are last-write-wins - is identical to a serial run's.
         for code in scene_codes:
-            unit = [BenchRecord(**rec) for rec in futures[code].result()]
+            outcome = futures[code].result()
+            unit = [BenchRecord(**rec) for rec in outcome["records"]]
             records.extend(unit)
+            distributed.absorb_snapshot(outcome["telemetry"])
             say(f"[{code}] {len(unit)} record(s) from worker")
     return records
 
@@ -675,13 +721,16 @@ def _run_resilient(
     if jobs > 1 and len(pending) > 1:
         cache = get_artifact_cache()
         cache_root = cache.root if cache else None
+        telemetry_on = telemetry.enabled()
+        ambient = telemetry.current_labels() if telemetry_on else None
         workers = min(jobs, len(pending))
         say(f"sharding {len(pending)} scene unit(s) across {workers} workers")
+        unit_snapshots: Dict[str, Optional[dict]] = {}
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(
                     _supervised_unit_worker, preset, code, tuple(engines),
-                    options, fault_plan, cache_root,
+                    options, fault_plan, cache_root, telemetry_on, ambient,
                 ): code
                 for code in pending
             }
@@ -692,6 +741,7 @@ def _run_resilient(
                     BenchRecord(**rec) for rec in outcome["records"]
                 ]
                 unit_entries[code] = UnitEntry(**outcome["entry"])
+                unit_snapshots[code] = outcome.get("telemetry")
                 for counter, value in outcome["supervisor"].items():
                     if counter in supervisor.counters:
                         supervisor.counters[counter] += value
@@ -706,6 +756,11 @@ def _run_resilient(
                         "entry": outcome["entry"],
                     })
                 say(f"[{code}] unit complete ({unit_entries[code].status})")
+        # Merge worker telemetry in scene order (not completion order):
+        # counter addition commutes but gauge last-write-wins does not,
+        # and scene order is what a serial run would have produced.
+        for code in scene_codes:
+            distributed.absorb_snapshot(unit_snapshots.get(code))
     else:
         for code in pending:
             def make_fn(rung: str, code: str = code):
@@ -781,14 +836,15 @@ def _build_payload(
         },
     }
     if telemetry.enabled():
-        from repro.telemetry.tracing import summarize_spans
-
-        tracer = telemetry.get_tracer()
-        payload["telemetry"] = {
+        section = {
             "metrics": telemetry.get_registry().snapshot(),
-            "spans": summarize_spans(tracer.events()),
-            "dropped_events": tracer.dropped,
+            "spans": distributed.merged_span_summary(),
+            "dropped_events": distributed.total_dropped_events(),
         }
+        workers = distributed.worker_summary()
+        if workers:
+            section["workers"] = workers
+        payload["telemetry"] = section
     return payload
 
 

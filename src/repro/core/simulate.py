@@ -30,7 +30,12 @@ from repro.core.baseline import baseline_record
 from repro.core.predictor import PredictorConfig, RayPredictor
 from repro.errors import TraversalError
 from repro.geometry.ray import RayBatch
-from repro.telemetry.publish import FRACTION_BUCKETS, publish_simulation_result
+from repro.telemetry.publish import (
+    FRACTION_BUCKETS,
+    publish_simulation_result,
+    publish_table_stats,
+    table_stats_state,
+)
 from repro.trace.counters import TraversalStats
 from repro.trace.traversal import occlusion_any_hit_tri
 from repro.trace.wavefront import resolve_engine, wavefront_verify_batch
@@ -184,11 +189,19 @@ def simulate_predictor(
     resolve_engine(engine)
     pred = predictor if predictor is not None else RayPredictor(bvh, config)
     hashes = pred.hash_batch(rays.origins, rays.directions)
+    # Delta-published at run end so a reused (pre-warmed) predictor's
+    # cumulative counters are not double counted across runs.  Meta
+    # predictors (e.g. the adaptive tournament) have no single table and
+    # skip the introspection counters.
+    table = getattr(pred, "table", None)
+    table_base = table_stats_state(table)
 
     if engine == "wavefront":
-        return _simulate_wavefront(
+        result = _simulate_wavefront(
             bvh, rays, pred, hashes, in_flight, keep_outcomes
         )
+        publish_table_stats(table, since=table_base, engine="wavefront")
+        return result
 
     outcomes: List[PredictionOutcome] = []
     baseline_nodes = 0
@@ -290,10 +303,12 @@ def simulate_predictor(
                 buckets=FRACTION_BUCKETS, engine="scalar",
             )
 
-    return _finalize_result(
+    result = _finalize_result(
         outcomes, baseline_nodes, baseline_tris, mis_nodes, mis_tris,
         guard_fallbacks, keep_outcomes, engine="scalar",
     )
+    publish_table_stats(table, since=table_base, engine="scalar")
+    return result
 
 
 def simulate_baseline(

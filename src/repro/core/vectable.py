@@ -44,6 +44,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.policies import LFUPolicy, LRUKPolicy, LRUPolicy, make_node_policy
 from repro.core.table import NODE_INDEX_BITS, VALID_BITS, PredictorTable, TableStats
 
@@ -119,6 +120,14 @@ class VectorizedPredictorTable:
             self._nhist = None
         self._clock = 0
         self.stats = TableStats()
+        # Tag-alias introspection (docs/OBSERVABILITY.md): a probe that
+        # matches more than one way means two entries share a tag in a
+        # set - impossible in normal operation, observable after
+        # ``corrupt_tag`` (hash aliasing) fault injection.  Enablement
+        # is sampled at construction so the disabled probe path pays a
+        # single attribute check.
+        self._telemetry = telemetry.enabled()
+        self.tag_alias_probes = 0
 
     # ------------------------------------------------------------------
     # Hash folding (batched form of PredictorTable._index_and_tag).
@@ -215,6 +224,9 @@ class VectorizedPredictorTable:
         idx, tag = self._index_and_tag_batch(hashes)
         vt = self._valid[idx]
         match = vt & (self._tags[idx] == tag[:, None])
+        if self._telemetry:
+            telemetry.record_hook_activation()
+            self.tag_alias_probes += int((match.sum(axis=1) > 1).sum())
         hit = match.any(axis=1)
         nhits = int(hit.sum())
         self.stats.hits += nhits
@@ -422,6 +434,11 @@ class VectorizedPredictorTable:
         """Look a ray hash up; returns the predicted nodes or ``None``."""
         self.stats.lookups += 1
         s, t = self._index_and_tag(ray_hash)
+        if self._telemetry:
+            telemetry.record_hook_activation()
+            m = self._valid[s] & (self._tags[s] == t)
+            if int(m.sum()) > 1:
+                self.tag_alias_probes += 1
         way = self._match_way(s, t)
         if way < 0:
             # Misses consume no stamp, matching ``lookup_batch``'s

@@ -13,11 +13,23 @@ so a step's memory time is ``max_i(issue_i + latency_i)``.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
+from typing import Dict
 
+from repro import telemetry
 from repro.gpu.cache import Cache
 from repro.gpu.config import MemoryConfig
 from repro.gpu.dram import DRAM
+
+#: Bucket upper bounds for line reuse distances (accesses between
+#: touches of the same line).  Power-of-two edges: reuse locality spans
+#: orders of magnitude, and the paper's cache behaviour (Section 6.2.3)
+#: is about *how far apart* touches are, not their exact spacing.
+REUSE_DISTANCE_BUCKETS = (
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+    1024.0, 4096.0, 16384.0, 65536.0,
+)
 
 
 @dataclass
@@ -66,6 +78,41 @@ class MemoryHierarchy:
         # one straggler thread - consume scheduling throughput just like
         # dense ones.  This is the cost that warp repacking recovers.
         self._scheduler_free = 0
+        # Reuse-distance introspection (docs/OBSERVABILITY.md): the
+        # enablement is sampled once here, not per access, so the
+        # disabled hot path pays a single attribute check.  Raw bucket
+        # layout mirrors Histogram.observe over REUSE_DISTANCE_BUCKETS;
+        # the simulator publishes it at run end via
+        # publish_reuse_distances (works across the sm_jobs pickle
+        # boundary because the state is plain ints/dicts).
+        self._track_reuse = telemetry.enabled()
+        self._reuse_last: Dict[int, int] = {}
+        self._reuse_index = 0
+        self.reuse_counts = [0] * (len(REUSE_DISTANCE_BUCKETS) + 1)
+        self.reuse_total = 0
+        self.reuse_sum = 0.0
+        self.reuse_min = float("inf")
+        self.reuse_max = float("-inf")
+        self.reuse_cold_lines = 0
+
+    def _note_reuse(self, line_addr: int) -> None:
+        """Record one line touch (enabled-telemetry path only)."""
+        telemetry.record_hook_activation()
+        index = self._reuse_index
+        self._reuse_index = index + 1
+        last = self._reuse_last.get(line_addr)
+        self._reuse_last[line_addr] = index
+        if last is None:
+            self.reuse_cold_lines += 1
+            return
+        distance = float(index - last - 1)
+        self.reuse_counts[bisect_left(REUSE_DISTANCE_BUCKETS, distance)] += 1
+        self.reuse_total += 1
+        self.reuse_sum += distance
+        if distance < self.reuse_min:
+            self.reuse_min = distance
+        if distance > self.reuse_max:
+            self.reuse_max = distance
 
     def acquire_scheduler_slot(self, now: int) -> int:
         """Reserve the next warp-iteration slot at or after ``now``."""
@@ -101,6 +148,8 @@ class MemoryHierarchy:
         cycle at which the data is ready; hit/miss classification lives
         in the cache and DRAM statistics objects.
         """
+        if self._track_reuse:
+            self._note_reuse(line_addr)
         issue = self._port_cycle
         if now > issue:
             issue = now

@@ -54,7 +54,12 @@ from repro.geometry.intersect import ray_aabb_intersect, ray_triangle_intersect
 from repro.geometry.ray import RayBatch
 from repro.gpu.config import GPUConfig
 from repro.gpu.memory import MemoryHierarchy
-from repro.telemetry.publish import publish_rt_unit_result
+from repro.telemetry.publish import (
+    LaneHistogram,
+    publish_rt_unit_result,
+    publish_table_stats,
+    table_stats_state,
+)
 
 #: Marker pushed below predicted nodes; popping it means the prediction
 #: failed and the ray must restart from the root (misprediction recovery).
@@ -231,6 +236,8 @@ class RTUnit:
     # ------------------------------------------------------------------
     def run(self, rays: RayBatch) -> RTUnitResult:
         """Trace every ray in ``rays`` (in order) and return statistics."""
+        table = getattr(self.predictor, "table", None)
+        table_base = table_stats_state(table)
         with telemetry.span(
             "rt_unit.run", rays=len(rays),
             predictor=self.predictor is not None, engine="scalar",
@@ -238,6 +245,7 @@ class RTUnit:
             result = self._run(rays)
             sp.add(cycles=result.cycles, warp_steps=result.warp_steps)
         publish_rt_unit_result(result)
+        publish_table_stats(table, since=table_base, engine="scalar")
         return result
 
     def _run(self, rays: RayBatch) -> RTUnitResult:
@@ -276,6 +284,9 @@ class RTUnit:
         collector_warps = 0
         warp_steps = 0
         active_thread_steps = 0
+        # Divergence introspection: per-iteration active-lane counts,
+        # accumulated locally and folded into the registry at run end.
+        lane_hist = LaneHistogram() if telemetry.enabled() else None
         mis_nodes = 0
         mis_tris = 0
         box_tests = 0
@@ -371,6 +382,8 @@ class RTUnit:
             step = self._step_warp(warp, now)
             warp_steps += 1
             active_thread_steps += step.active_threads
+            if lane_hist is not None:
+                lane_hist.add(step.active_threads)
             mis_nodes += step.mis_node_fetches
             mis_tris += step.mis_tri_fetches
             box_tests += step.box_tests
@@ -418,6 +431,8 @@ class RTUnit:
             if repack:
                 drain_collector(now, force=False)
 
+        if lane_hist is not None:
+            lane_hist.publish(engine="scalar")
         total_cycles = now
         l1 = self.memory.l1.stats
         l2 = self.memory.l2.stats

@@ -28,7 +28,12 @@ from repro.gpu.dram import DRAM
 from repro.gpu.memory import MemoryHierarchy
 from repro.gpu.rt_unit import RTUnitResult
 from repro.gpu.vec_rt_unit import RT_ENGINES, make_rt_unit
-from repro.telemetry.publish import publish_cache_stats, publish_dram_stats
+from repro.telemetry import distributed
+from repro.telemetry.publish import (
+    publish_cache_stats,
+    publish_dram_stats,
+    publish_reuse_distances,
+)
 
 
 @dataclass
@@ -171,22 +176,28 @@ def make_predictors(bvh: FlatBVH, config: GPUConfig) -> List[RayPredictor]:
 
 
 def _simulate_one_sm(
-    args: Tuple[FlatBVH, GPUConfig, RayBatch, int, str],
-) -> Tuple[int, RTUnitResult, MemoryHierarchy]:
+    args: Tuple[FlatBVH, GPUConfig, RayBatch, int, str, bool, Optional[dict]],
+) -> Tuple[int, RTUnitResult, MemoryHierarchy, Optional[dict]]:
     """One SM's run in a ``sm_jobs`` worker process.
 
     Only valid for private-L2 configurations: the worker builds a fresh
     memory hierarchy and (cold) predictor, so its result is bit-identical
-    to the same SM's turn in the serial private-L2 loop.
+    to the same SM's turn in the serial private-L2 loop.  The worker's
+    telemetry snapshot (RT-unit spans and counters recorded inside
+    ``unit.run``) rides back with the result; cache/DRAM stats are still
+    published parent-side from the returned memory object, exactly like
+    the serial loop, so nothing is double counted.
     """
-    bvh, config, sm_rays, sm, engine = args
+    bvh, config, sm_rays, sm, engine, telemetry_on, ambient = args
+    distributed.init_worker(telemetry_on, ambient)
     memory = MemoryHierarchy(config.memory)
     predictor = (
         RayPredictor(bvh, config.predictor) if config.predictor is not None else None
     )
     unit = make_rt_unit(engine, bvh, config, memory, predictor=predictor)
-    result = unit.run(sm_rays)
-    return sm, result, memory
+    with telemetry.label_context(sm=sm):
+        result = unit.run(sm_rays)
+    return sm, result, memory, distributed.capture_snapshot(unit=f"sm{sm}")
 
 
 def simulate_workload(
@@ -286,6 +297,7 @@ def _simulate_serial(
         with telemetry.label_context(sm=sm):
             per_sm.append(unit.run(rays.subset(sm_rays)))
         publish_cache_stats(memory.l1.stats, level="l1", sm=sm)
+        publish_reuse_distances(memory, sm=sm)
         if not config.shared_l2:
             publish_cache_stats(memory.l2.stats, level="l2", sm=sm)
             publish_dram_stats(memory.dram.stats, config.memory.dram.num_banks, sm=sm)
@@ -305,15 +317,21 @@ def _simulate_sharded(
     sm_jobs: int,
 ) -> List[RTUnitResult]:
     """Private-L2 SM runs fanned out across worker processes."""
+    telemetry_on = telemetry.enabled()
+    ambient = telemetry.current_labels() if telemetry_on else None
     tasks = [
-        (bvh, config, rays.subset(sm_rays), sm, engine)
+        (bvh, config, rays.subset(sm_rays), sm, engine, telemetry_on, ambient)
         for sm, sm_rays in enumerate(assignments)
     ]
     per_sm: List[Optional[RTUnitResult]] = [None] * len(tasks)
     with ProcessPoolExecutor(max_workers=sm_jobs) as pool:
-        for sm, result, memory in pool.map(_simulate_one_sm, tasks):
+        # pool.map yields in SM order, so snapshot absorption is
+        # deterministic regardless of which worker finished first.
+        for sm, result, memory, snapshot in pool.map(_simulate_one_sm, tasks):
             per_sm[sm] = result
+            distributed.absorb_snapshot(snapshot)
             publish_cache_stats(memory.l1.stats, level="l1", sm=sm)
             publish_cache_stats(memory.l2.stats, level="l2", sm=sm)
             publish_dram_stats(memory.dram.stats, config.memory.dram.num_banks, sm=sm)
+            publish_reuse_distances(memory, sm=sm)
     return per_sm  # type: ignore[return-value]

@@ -67,7 +67,12 @@ from repro.geometry.ray import RayBatch
 from repro.gpu.config import GPUConfig
 from repro.gpu.memory import MemoryHierarchy
 from repro.gpu.rt_unit import _RESTART_SENTINEL, RTUnit, RTUnitResult, _StepOutcome
-from repro.telemetry.publish import publish_rt_unit_result
+from repro.telemetry.publish import (
+    LaneHistogram,
+    publish_rt_unit_result,
+    publish_table_stats,
+    table_stats_state,
+)
 
 #: Sentinel for "no hit yet" in first-hit reductions.
 _NO_HIT = np.int64(1) << 62
@@ -198,6 +203,8 @@ class VectorRTUnit:
     # ------------------------------------------------------------------
     def run(self, rays: RayBatch) -> RTUnitResult:
         """Trace every ray in ``rays`` (in order) and return statistics."""
+        table = getattr(self.predictor, "table", None)
+        table_base = table_stats_state(table)
         with telemetry.span(
             "rt_unit.run", rays=len(rays),
             predictor=self.predictor is not None, engine="vector",
@@ -205,6 +212,7 @@ class VectorRTUnit:
             result = self._run(rays)
             sp.add(cycles=result.cycles, warp_steps=result.warp_steps)
         publish_rt_unit_result(result)
+        publish_table_stats(table, since=table_base, engine="vector")
         return result
 
     # ------------------------------------------------------------------
@@ -244,6 +252,9 @@ class VectorRTUnit:
         collector_warps = 0
         warp_steps = 0
         active_thread_steps = 0
+        # Divergence introspection: per-iteration active-lane counts,
+        # accumulated locally and folded into the registry at run end.
+        lane_hist = LaneHistogram() if telemetry.enabled() else None
         mis_nodes = 0
         mis_tris = 0
         box_tests = 0
@@ -332,6 +343,8 @@ class VectorRTUnit:
             step = self._step_warp(warp, now)
             warp_steps += 1
             active_thread_steps += step.active_threads
+            if lane_hist is not None:
+                lane_hist.add(step.active_threads)
             mis_nodes += step.mis_node_fetches
             mis_tris += step.mis_tri_fetches
             box_tests += step.box_tests
@@ -377,6 +390,8 @@ class VectorRTUnit:
             if repack:
                 drain_collector(now, force=False)
 
+        if lane_hist is not None:
+            lane_hist.publish(engine="vector")
         l1 = self.memory.l1.stats
         l2 = self.memory.l2.stats
         dram = self.memory.dram.stats

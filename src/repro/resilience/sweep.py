@@ -27,6 +27,7 @@ from repro.resilience.checkpoint import SweepCheckpoint
 from repro.resilience.degrade import PartialResultsManifest, UnitEntry
 from repro.resilience.supervisor import ResilienceOptions, RunSupervisor
 from repro.scenes import get_scene
+from repro.telemetry import distributed
 
 #: Artifact schema for ``SIM_<name>.json``.
 SIM_SCHEMA = "repro-sim-sweep/1"
@@ -102,10 +103,18 @@ def _supervised_unit_worker(
     options: ResilienceOptions,
     fault_plan: Optional[UnitFaultPlan],
     cache_root: Optional[str],
+    telemetry_on: bool = False,
+    ambient_labels: Optional[Dict[str, str]] = None,
 ) -> dict:
-    """One supervised scene unit in a ``--jobs`` worker process."""
+    """One supervised scene unit in a ``--jobs`` worker process.
+
+    The telemetry snapshot is captured after the supervisor settles, so
+    a degraded or skipped unit still ships the partial metrics and
+    spans its attempts recorded.
+    """
     if cache_root:
         configure_artifact_cache(cache_root)
+    distributed.init_worker(telemetry_on, ambient_labels)
     supervisor = RunSupervisor.from_options(options)
 
     def make_fn(rung: str):
@@ -121,6 +130,7 @@ def _supervised_unit_worker(
         "row": outcome.value,
         "entry": outcome.entry.to_dict(),
         "supervisor": supervisor.describe(),
+        "telemetry": distributed.capture_snapshot(unit=code),
     }
 
 
@@ -176,13 +186,16 @@ def run_simulation_sweep(
     if jobs > 1 and len(pending) > 1:
         cache = get_artifact_cache()
         cache_root = cache.root if cache else None
+        telemetry_on = telemetry.enabled()
+        ambient = telemetry.current_labels() if telemetry_on else None
         workers = min(jobs, len(pending))
         say(f"sharding {len(pending)} scene unit(s) across {workers} workers")
+        unit_snapshots: Dict[str, Optional[dict]] = {}
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(
                     _supervised_unit_worker, preset, code, options,
-                    fault_plan, cache_root,
+                    fault_plan, cache_root, telemetry_on, ambient,
                 ): code
                 for code in pending
             }
@@ -191,6 +204,7 @@ def run_simulation_sweep(
                 outcome = future.result()
                 unit_rows[code] = outcome["row"]
                 unit_entries[code] = UnitEntry(**outcome["entry"])
+                unit_snapshots[code] = outcome.get("telemetry")
                 for counter, value in outcome["supervisor"].items():
                     if counter in supervisor.counters:
                         supervisor.counters[counter] += value
@@ -203,6 +217,10 @@ def run_simulation_sweep(
                         "entry": outcome["entry"],
                     })
                 say(f"[{code}] unit complete ({unit_entries[code].status})")
+        # Scene-order merge: counters commute, gauge last-write-wins
+        # does not, and scene order matches the serial semantics.
+        for code in preset.scenes:
+            distributed.absorb_snapshot(unit_snapshots.get(code))
     else:
         for code in pending:
             def make_fn(rung: str, code: str = code):
@@ -250,6 +268,16 @@ def run_simulation_sweep(
             "chaos": fault_plan.describe() if fault_plan else None,
         },
     }
+    if telemetry.enabled():
+        section = {
+            "metrics": telemetry.get_registry().snapshot(),
+            "spans": distributed.merged_span_summary(),
+            "dropped_events": distributed.total_dropped_events(),
+        }
+        workers_info = distributed.worker_summary()
+        if workers_info:
+            section["workers"] = workers_info
+        payload["telemetry"] = section
     say(manifest.summary())
     return payload
 

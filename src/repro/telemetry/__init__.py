@@ -61,13 +61,22 @@ def env_enabled(value: Optional[str]) -> bool:
 class _TelemetryState:
     """Process-global switch + instruments (one per process)."""
 
-    __slots__ = ("enabled", "registry", "tracer", "phase_timer")
+    __slots__ = ("enabled", "registry", "tracer", "phase_timer",
+                 "worker_snapshots", "hook_activations")
 
     def __init__(self) -> None:
         self.enabled = env_enabled(os.environ.get(ENV_VAR))
         self.registry = Registry()
         self.tracer = EventTracer()
         self.phase_timer = PhaseTimer()
+        # Snapshots absorbed from worker processes this run (see
+        # repro.telemetry.distributed) - kept so the stitched Chrome
+        # trace and per-worker accounting survive until reset.
+        self.worker_snapshots: List[dict] = []
+        # How many times an introspection hook's enabled-branch ran.
+        # The off-path overhead guard tests assert this stays zero with
+        # telemetry off - a hook firing while disabled is a bug.
+        self.hook_activations = 0
 
 
 _STATE = _TelemetryState()
@@ -94,10 +103,12 @@ def disable() -> None:
 
 
 def reset_telemetry() -> None:
-    """Clear the registry, the tracer, and the phase timer."""
+    """Clear the registry, tracer, phase timer, and distributed state."""
     _STATE.registry.reset()
     _STATE.tracer.reset()
     _STATE.phase_timer.reset()
+    _STATE.worker_snapshots.clear()
+    _STATE.hook_activations = 0
     _CONTEXT_LABELS.clear()
 
 
@@ -128,6 +139,32 @@ def get_tracer() -> EventTracer:
 def get_phase_timer() -> PhaseTimer:
     """The process-global phase timer (bench harness integration)."""
     return _STATE.phase_timer
+
+
+def worker_snapshots() -> List[dict]:
+    """Worker telemetry snapshots absorbed this run (oldest first)."""
+    return list(_STATE.worker_snapshots)
+
+
+def _append_worker_snapshot(snapshot: dict) -> None:
+    """Store an absorbed worker snapshot (distributed-merge internal)."""
+    _STATE.worker_snapshots.append(snapshot)
+
+
+def record_hook_activation(count: int = 1) -> None:
+    """Count one enabled-branch execution of an introspection hook.
+
+    Called *inside* the ``enabled()`` branch of the vectable / RT-unit /
+    memory-hierarchy hooks, never on the off path - so the off-path
+    overhead guard can assert "hooks did nothing" via this counter
+    instead of a brittle wall-clock measurement.
+    """
+    _STATE.hook_activations += count
+
+
+def hook_activations() -> int:
+    """Total enabled-branch hook executions since the last reset."""
+    return _STATE.hook_activations
 
 
 # ----------------------------------------------------------------------
@@ -222,13 +259,16 @@ __all__ = [
     "get_phase_timer",
     "get_registry",
     "get_tracer",
+    "hook_activations",
     "inc_counter",
     "instant",
     "label_context",
     "observe",
+    "record_hook_activation",
     "reset_telemetry",
     "set_gauge",
     "span",
     "summarize_spans",
+    "worker_snapshots",
     "write_chrome_trace",
 ]

@@ -128,6 +128,45 @@ class Histogram:
         if value > self.max:
             self.max = value
 
+    def add_raw(
+        self,
+        bucket_counts: Sequence[int],
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+    ) -> None:
+        """Fold another histogram's *raw* (non-cumulative) state in.
+
+        The merge primitive behind cross-process aggregation
+        (:mod:`repro.telemetry.distributed`): bucket counts add
+        element-wise, so the merged distribution is exactly what a single
+        process observing both streams would have recorded.  The caller
+        must de-cumulate exported ``le`` buckets first; a length mismatch
+        means the edges differ and the merge would misplace counts, so it
+        raises :class:`MetricError` instead.
+        """
+        if len(bucket_counts) != len(self.bucket_counts):
+            raise MetricError(
+                f"histogram {self.name!r} merge: {len(bucket_counts)} raw "
+                f"buckets against {len(self.bucket_counts)} local "
+                f"(edges differ)"
+            )
+        if count < 0:
+            raise MetricError(
+                f"histogram {self.name!r} merge: negative count {count}"
+            )
+        if count == 0:
+            return
+        for i, n in enumerate(bucket_counts):
+            self.bucket_counts[i] += int(n)
+        self.count += int(count)
+        self.sum += float(total)
+        if minimum < self.min:
+            self.min = float(minimum)
+        if maximum > self.max:
+            self.max = float(maximum)
+
     def quantile_bound(self, q: float) -> float:
         """Upper bound of the bucket containing the ``q``-quantile.
 

@@ -153,6 +153,17 @@ class SamplingProfiler:
         else:
             self.stop()
 
+    def __enter__(self) -> "SamplingProfiler":
+        """``with SamplingProfiler() as p:`` - same contract as
+        :meth:`profile`: the sampler always stops on the way out, and a
+        failing block keeps its partial samples (the leak diagnostic
+        never masks the workload's own exception)."""
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(raise_on_leak=exc_type is None)
+
     # ------------------------------------------------------------------
     def _sample_loop(self) -> None:
         while not self._stop.wait(self.interval_s):

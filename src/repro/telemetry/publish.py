@@ -13,10 +13,144 @@ call sites invoke them unconditionally.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from typing import Optional, Tuple
+
 from repro import telemetry
 
 #: Bucket edges for fraction-valued histograms (rates in [0, 1]).
 FRACTION_BUCKETS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: Bucket edges for per-warp-iteration active-lane counts (powers of
+#: two up to the widest supported warp).  The shape of this histogram
+#: *is* the divergence story: Figure 10's SIMT-efficiency gap shows up
+#: here as mass in the low buckets.
+LANE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                512.0, 1024.0)
+
+
+class LaneHistogram:
+    """Accumulates per-warp-iteration active-lane counts locally.
+
+    The RT-unit event loops retire one warp iteration at a time, so
+    observing straight into the registry would cost a dict probe per
+    iteration.  Instead the loop allocates one of these only when
+    telemetry is enabled (``None`` otherwise - the off path stays a
+    single ``is not None`` check), accumulates raw bucket counts with a
+    ``bisect``, and folds the whole distribution into the registry once
+    at run end via :meth:`publish`.
+    """
+
+    __slots__ = ("counts", "total", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(LANE_BUCKETS) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, active: int) -> None:
+        """Record one warp iteration's active-lane count."""
+        telemetry.record_hook_activation()
+        self.counts[bisect_left(LANE_BUCKETS, active)] += 1
+        self.total += 1
+        self.sum += active
+        if active < self.min:
+            self.min = float(active)
+        if active > self.max:
+            self.max = float(active)
+
+    def publish(self, **labels: object) -> None:
+        """Fold the accumulated distribution into the global registry."""
+        if not telemetry.enabled() or not self.total:
+            return
+        hist = telemetry.get_registry().histogram(
+            "rt_unit.active_lanes", buckets=LANE_BUCKETS,
+            **telemetry.current_labels(labels),
+        )
+        hist.add_raw(self.counts, self.total, self.sum, self.min, self.max)
+
+
+def table_stats_state(table) -> Optional[Tuple[int, ...]]:
+    """Snapshot a predictor table's cumulative stats (for deltas).
+
+    Returns ``None`` when telemetry is off or ``table`` is ``None``
+    (meta predictors without a single table).  Taken at run start so
+    :func:`publish_table_stats` can publish only what *this* run did -
+    pre-warmed predictors reused across frames keep cumulative stats,
+    and publishing those repeatedly would double count.
+    """
+    if table is None or not telemetry.enabled():
+        return None
+    stats = table.stats
+    return (
+        stats.lookups, stats.hits, stats.updates,
+        stats.entry_evictions, stats.node_evictions,
+        getattr(table, "tag_alias_probes", 0),
+    )
+
+
+def publish_table_stats(
+    table, since: Optional[Tuple[int, ...]] = None, **labels: object
+) -> None:
+    """Publish predictor-table introspection counters (Section 4.1).
+
+    ``since`` is a :func:`table_stats_state` snapshot from run start;
+    ``None`` publishes the cumulative values (fresh-table runs).  The
+    occupancy gauge is point-in-time by nature.  ``tag_alias_probes``
+    (probes matching more than one way, only possible after tag
+    corruption or deliberate hash aliasing) is only tracked by the
+    vectorized table; the scalar reference table publishes zero.
+    ``table=None`` is a no-op (predictors without a single table).
+    """
+    if table is None or not telemetry.enabled():
+        return
+    base = since or (0, 0, 0, 0, 0, 0)
+    stats = table.stats
+    inc = telemetry.inc_counter
+    inc("table.lookups", stats.lookups - base[0], **labels)
+    inc("table.hits", stats.hits - base[1], **labels)
+    inc("table.updates", stats.updates - base[2], **labels)
+    inc("table.entry_evictions", stats.entry_evictions - base[3], **labels)
+    inc("table.node_evictions", stats.node_evictions - base[4], **labels)
+    inc("table.tag_aliases",
+        getattr(table, "tag_alias_probes", 0) - base[5], **labels)
+    occupancy = getattr(table, "occupancy", None)
+    if occupancy is not None:
+        telemetry.set_gauge("table.occupancy", occupancy(), **labels)
+
+
+def publish_reuse_distances(memory, **labels: object) -> None:
+    """Publish a memory hierarchy's cache-line reuse-distance buckets.
+
+    The raw counts accumulate locally on the
+    :class:`~repro.gpu.memory.MemoryHierarchy` (tracking is sampled at
+    construction; see ``docs/OBSERVABILITY.md``), so this also works
+    for memory objects shipped back from ``sm_jobs`` workers.  Publish
+    once per run per hierarchy from a single owner (the workload
+    simulator) to avoid double counting.
+    """
+    if not telemetry.enabled():
+        return
+    counts = getattr(memory, "reuse_counts", None)
+    if counts is None:
+        return
+    telemetry.inc_counter(
+        "memory.cold_lines", memory.reuse_cold_lines, **labels
+    )
+    if not memory.reuse_total:
+        return
+    from repro.gpu.memory import REUSE_DISTANCE_BUCKETS
+
+    hist = telemetry.get_registry().histogram(
+        "memory.reuse_distance", buckets=REUSE_DISTANCE_BUCKETS,
+        **telemetry.current_labels(labels),
+    )
+    hist.add_raw(
+        counts, memory.reuse_total, memory.reuse_sum,
+        memory.reuse_min, memory.reuse_max,
+    )
 
 
 def publish_simulation_result(result, engine: str, **labels: object) -> None:
@@ -131,9 +265,14 @@ def publish_bvh(bvh, method: str, **labels: object) -> None:
 
 __all__ = [
     "FRACTION_BUCKETS",
+    "LANE_BUCKETS",
+    "LaneHistogram",
     "publish_bvh",
     "publish_cache_stats",
     "publish_dram_stats",
+    "publish_reuse_distances",
     "publish_rt_unit_result",
     "publish_simulation_result",
+    "publish_table_stats",
+    "table_stats_state",
 ]

@@ -204,9 +204,35 @@ class TestTelemetryGate:
         ]
         assert any("repro telemetry --quick --check" in r for r in runs)
 
+    def test_smoke_job_runs_sharded_telemetry_bench(self, workflow):
+        # The distributed-aggregation path only exercises in CI if the
+        # bench run is actually sharded with telemetry on.
+        runs = [
+            step.get("run", "")
+            for step in workflow["jobs"]["telemetry-smoke"]["steps"]
+        ]
+        sharded = [
+            r for r in runs
+            if "repro bench" in r and "--jobs 2" in r and "--telemetry" in r
+        ]
+        assert sharded, "telemetry-smoke must run a sharded --telemetry bench"
+        assert any("--trace-out" in r for r in sharded)
+
+    def test_smoke_job_asserts_merged_section(self, workflow):
+        # Exit 0 is not enough: the job must check the merged telemetry
+        # section exists, is non-empty, and covers both worker pids.
+        runs = [
+            step.get("run", "")
+            for step in workflow["jobs"]["telemetry-smoke"]["steps"]
+        ]
+        checks = [r for r in runs if '"telemetry"' in r or "workers" in r]
+        assert any("pid" in r for r in checks)
+
     def test_uploads_artifact(self, workflow):
         paths = [
             step.get("with", {}).get("path", "")
             for step in workflow["jobs"]["telemetry-smoke"]["steps"]
         ]
         assert any("telemetry.json" in p for p in paths)
+        # The stitched Chrome trace ships as a build artifact too.
+        assert any("trace.json" in p for p in paths)

@@ -244,10 +244,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.preset:
         preset = PRESETS[args.preset]
-        if args.quick:
+        if args.quick and preset.name != "build":
             # CI smoke: keep the preset's pinned workload (so --check
             # compares the same record set against the committed
-            # baseline) but time a single run per benchmark.
+            # baseline) but time a single run per benchmark.  The build
+            # preset keeps its best-of repeats: its timed units finish
+            # in milliseconds, so single-repeat ratios are too noisy
+            # for the gated speedup floors, and the whole sweep is
+            # already well under a minute.
             from dataclasses import replace
 
             preset = replace(preset, repeats=1)
@@ -480,10 +484,12 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke preset (3 scenes, <60s) instead of full")
     bench.add_argument("--preset",
-                       choices=("quick", "full", "predictor", "timing"),
+                       choices=("quick", "full", "predictor", "timing",
+                                "build"),
                        default=None,
                        help="named preset (overrides --quick); 'predictor' "
-                       "times only the predictor simulation on all scenes")
+                       "times only the predictor simulation on all scenes; "
+                       "'build' times BVH construction + refit per engine")
     bench.add_argument("--scenes", nargs="+", metavar="CODE",
                        help="restrict to these scene codes")
     bench.add_argument("--out", default="benchmarks/results",

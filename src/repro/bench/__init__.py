@@ -12,6 +12,7 @@ a >20 % regression against the committed baselines (see
 from repro.bench.harness import (
     ACCEPTED_SCHEMAS,
     BENCH_SCHEMA,
+    BUILD_PRESET,
     FULL_PRESET,
     PREDICTOR_PRESET,
     PRESETS,
@@ -29,6 +30,7 @@ from repro.bench.harness import (
 __all__ = [
     "ACCEPTED_SCHEMAS",
     "BENCH_SCHEMA",
+    "BUILD_PRESET",
     "FULL_PRESET",
     "PREDICTOR_PRESET",
     "PRESETS",

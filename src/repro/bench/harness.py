@@ -9,7 +9,7 @@ pinned-seed workloads:
 * ``predictor_sim``   - the functional predictor simulation
   (:func:`repro.core.simulate.simulate_predictor`) over a capped prefix.
 
-The JSON artifact (schema ``repro-bench/5``, documented in
+The JSON artifact (schema ``repro-bench/6``, documented in
 ``docs/BENCHMARKING.md``; older ``repro-bench/*`` artifacts are still
 read) records wall time, rays/second, and the deterministic traversal
 counters, plus derived wavefront-over-scalar speedups and a
@@ -81,16 +81,18 @@ from repro.trace.wavefront import ENGINES
 #: ``resilience`` section; 4 added the derived ``predictor_throughput``
 #: section and the preset's ``benchmarks`` selector; 5 added the
 #: ``rt_timing`` benchmark (RT-unit cycle simulation, scalar vs vector
-#: engines) with its derived section and timing-preset knobs (all
-#: additive - older artifacts remain readable, see
-#: :data:`ACCEPTED_SCHEMAS`).
-BENCH_SCHEMA = "repro-bench/5"
+#: engines) with its derived section and timing-preset knobs; 6 added
+#: the ``bvh_build``/``bvh_refit`` benchmarks (level-synchronous vector
+#: builders vs the scalar oracles) with the derived ``bvh_build``
+#: section and build-preset knobs (all additive - older artifacts
+#: remain readable, see :data:`ACCEPTED_SCHEMAS`).
+BENCH_SCHEMA = "repro-bench/6"
 
 #: Schema tags :func:`load_payload` accepts.  Baselines written before
 #: the telemetry/resilience sections existed stay valid.
 ACCEPTED_SCHEMAS = (
     "repro-bench/1", "repro-bench/2", "repro-bench/3", "repro-bench/4",
-    "repro-bench/5",
+    "repro-bench/5", "repro-bench/6",
 )
 
 #: Benchmarks gated by the regression check, in artifact order.
@@ -135,6 +137,12 @@ class BenchPreset:
     #: not held to the baseline-config floor - the per-retire predictor
     #: training is inherently scalar in both engines).
     timing_predictor: bool = True
+    #: Build methods timed by the ``bvh_build`` benchmark, each once
+    #: per build engine (vector frontier builder + scalar oracle).
+    build_methods: Tuple[str, ...] = ("sah", "median", "lbvh")
+    #: Per-triangle jitter magnitude for the ``bvh_refit`` benchmark's
+    #: deformed mesh (same ``seed`` as the workload).
+    build_jitter: float = 0.05
 
     def describe(self) -> str:
         return (
@@ -208,12 +216,38 @@ TIMING_PRESET = BenchPreset(
     benchmarks=("rt_timing",),
 )
 
+#: BVH-construction preset: all seven scenes through the level-
+#: synchronous vector builders and the scalar oracle builders, once per
+#: (method, engine), plus a refit pass per engine on a jittered mesh.
+#: This seeds the ``BENCH_build.json`` trajectory: node counts, tree
+#: depths and SAH costs are exact functions of scene + build parameters
+#: and gate exactly; ``engines_agree`` asserts the vector trees were
+#: array-identical to the scalar oracle's in *this* run; the
+#: vector-over-scalar build and refit speedups gate against the usual
+#: tolerance floor.
+BUILD_PRESET = BenchPreset(
+    name="build",
+    scenes=("SB", "SP", "LE", "LR", "FR", "BI", "CK"),
+    width=16,
+    height=16,
+    spp=1,
+    seed=1,
+    detail=1.0,
+    sim_rays=0,
+    benchmarks=("bvh_build",),
+    # Builds finish in milliseconds, so run-to-run jitter is a larger
+    # fraction of the wall time than for the trace benchmarks; best-of
+    # extra repeats keeps the gated speedup ratios stable on CI hosts.
+    repeats=3,
+)
+
 #: Presets addressable from the CLI (``repro bench --preset NAME``).
 PRESETS = {
     "quick": QUICK_PRESET,
     "full": FULL_PRESET,
     "predictor": PREDICTOR_PRESET,
     "timing": TIMING_PRESET,
+    "build": BUILD_PRESET,
 }
 
 
@@ -372,6 +406,107 @@ def _timing_record(
     )
 
 
+def _build_records(
+    preset: BenchPreset, code: str, engines: Sequence[str], say, scene
+) -> List[BenchRecord]:
+    """Timed BVH construction + refit for one scene (``bvh_build``).
+
+    Every method in ``preset.build_methods`` builds once per build
+    engine; the vector tree is compared array-for-array against the
+    scalar oracle's and the verdict rides in the vector record's extras
+    (``agrees_with_scalar``).  A refit pass then times both refit
+    engines on a jittered copy of the SAH tree's mesh.  ``rays`` holds
+    the triangle count, so ``rays_per_sec`` reads as build throughput
+    in triangles/second.
+    """
+    from repro.bvh.builder import build_bvh
+    from repro.bvh.refit import jitter_mesh, refit_bvh
+    from repro.bvh.stats import compute_stats
+    from repro.bvh.vector import trees_identical
+
+    # Engine pair follows the degradation rung like ``rt_timing``: the
+    # full rung times vector against the scalar oracle; degraded rungs
+    # keep scalar only, dropping the speedup but keeping the tree stats.
+    build_engines = (
+        ("vector", "scalar") if "wavefront" in engines else ("scalar",)
+    )
+    n = len(scene.mesh)
+    records: List[BenchRecord] = []
+    refit_base = None
+    for method in preset.build_methods:
+        trees: Dict[str, object] = {}
+        method_records: Dict[str, BenchRecord] = {}
+        for engine in build_engines:
+            def run(method=method, engine=engine):
+                return build_bvh(scene.mesh, method=method, engine=engine)
+
+            wall, tree = _timed(run, preset.repeats)
+            trees[engine] = tree
+            stats = compute_stats(tree)
+            rec = BenchRecord(
+                benchmark=f"bvh_build_{method}",
+                scene=code,
+                engine=engine,
+                rays=n,
+                wall_time_s=round(wall, 6),
+                rays_per_sec=round(n / wall, 1) if wall > 0 else float("inf"),
+                node_fetches=0,
+                tri_fetches=0,
+                extra={
+                    "nodes": float(tree.num_nodes),
+                    "max_depth": float(stats.max_depth),
+                    "sah_cost": round(stats.sah_cost, 6),
+                    "levels": float(len(tree.levels())),
+                },
+            )
+            records.append(rec)
+            method_records[engine] = rec
+            say(
+                f"[{code}] {'bvh_build_' + method:16s} {engine:9s} "
+                f"{rec.wall_time_s * 1e3:8.1f} ms  "
+                f"{rec.rays_per_sec:>12,.0f} tris/s"
+            )
+        if "vector" in trees and "scalar" in trees:
+            agree = trees_identical(trees["vector"], trees["scalar"])
+            method_records["vector"].extra["agrees_with_scalar"] = float(agree)
+        if method == "sah" or refit_base is None:
+            refit_base = trees[build_engines[0]]
+
+    deformed = jitter_mesh(refit_base.mesh, preset.build_jitter, seed=preset.seed)
+    refitted: Dict[str, object] = {}
+    refit_records: Dict[str, BenchRecord] = {}
+    for engine in build_engines:
+        def run_refit(engine=engine):
+            return refit_bvh(refit_base, deformed, engine=engine)
+
+        wall, out = _timed(run_refit, preset.repeats)
+        refitted[engine] = out
+        rec = BenchRecord(
+            benchmark="bvh_refit",
+            scene=code,
+            engine=engine,
+            rays=n,
+            wall_time_s=round(wall, 6),
+            rays_per_sec=round(n / wall, 1) if wall > 0 else float("inf"),
+            node_fetches=0,
+            tri_fetches=0,
+            extra={"nodes": float(refit_base.num_nodes)},
+        )
+        records.append(rec)
+        refit_records[engine] = rec
+        say(
+            f"[{code}] {'bvh_refit':16s} {engine:9s} "
+            f"{rec.wall_time_s * 1e3:8.1f} ms  "
+            f"{rec.rays_per_sec:>12,.0f} tris/s"
+        )
+    if "vector" in refitted and "scalar" in refitted:
+        agree = np.array_equal(
+            refitted["vector"].lo, refitted["scalar"].lo
+        ) and np.array_equal(refitted["vector"].hi, refitted["scalar"].hi)
+        refit_records["vector"].extra["agrees_with_scalar"] = float(agree)
+    return records
+
+
 def _scene_records(
     preset: BenchPreset,
     code: str,
@@ -382,9 +517,16 @@ def _scene_records(
     """Run the full benchmark matrix for one scene (one sweep *unit*)."""
     records: List[BenchRecord] = []
     selected = tuple(getattr(preset, "benchmarks", BENCHMARKS))
-    say(f"[{code}] building scene + BVH (detail={preset.detail})")
+    # The build benchmark times its own construction, so a unit that
+    # runs nothing else skips the cached BVH and the AO workload.
+    needs_workload = any(b != "bvh_build" for b in selected)
+    say(f"[{code}] building scene (detail={preset.detail})")
     with telemetry.label_context(scene=code):
         scene = get_scene(code, detail=preset.detail)
+        if "bvh_build" in selected:
+            records.extend(_build_records(preset, code, engines, say, scene))
+        if not needs_workload:
+            return records
         bvh = cached_build_bvh(scene.mesh)
         workload = generate_ao_workload(
             scene,
@@ -833,6 +975,7 @@ def _build_payload(
                 by_key, scene_codes
             ),
             "rt_timing": _rt_timing_section(by_key, scene_codes),
+            "bvh_build": _bvh_build_section(by_key, scene_codes),
         },
     }
     if telemetry.enabled():
@@ -933,6 +1076,65 @@ def _rt_timing_section(
             )
         if row:
             section[code] = row
+    return section
+
+
+def _bvh_build_section(
+    by_key: Dict[Tuple[str, str, str], BenchRecord],
+    scene_codes: Sequence[str],
+) -> Dict[str, dict]:
+    """Per-scene BVH-construction summary (schema 6).
+
+    Reconstructable from the records alone: ``nodes`` / ``max_depth`` /
+    ``sah_cost`` per method are exact functions of scene + build
+    parameters and gate exactly; ``engines_agree`` asserts every vector
+    tree (and the refit bounds) matched the scalar oracle array-for-
+    array in *this* run; the vector-over-scalar speedups gate against a
+    tolerance floor like the other engine pairs.
+    """
+    methods = sorted({
+        key[0][len("bvh_build_"):]
+        for key in by_key
+        if key[0].startswith("bvh_build_")
+    })
+    section: Dict[str, dict] = {}
+    for code in scene_codes:
+        per_method: Dict[str, dict] = {}
+        agree_flags: List[bool] = []
+        for method in methods:
+            bench = f"bvh_build_{method}"
+            vec = by_key.get((bench, code, "vector"))
+            sca = by_key.get((bench, code, "scalar"))
+            primary = vec or sca
+            if primary is None:
+                continue
+            row = {
+                "nodes": int(primary.extra["nodes"]),
+                "max_depth": int(primary.extra["max_depth"]),
+                "sah_cost": primary.extra["sah_cost"],
+            }
+            if vec is not None and "agrees_with_scalar" in vec.extra:
+                agree_flags.append(bool(vec.extra["agrees_with_scalar"]))
+            if vec is not None and sca is not None and vec.wall_time_s > 0:
+                row["speedup_vector_over_scalar"] = round(
+                    sca.wall_time_s / vec.wall_time_s, 3
+                )
+            per_method[method] = row
+        scene_row: Dict[str, object] = {}
+        if per_method:
+            scene_row["methods"] = per_method
+        refit_v = by_key.get(("bvh_refit", code, "vector"))
+        refit_s = by_key.get(("bvh_refit", code, "scalar"))
+        if refit_v is not None and "agrees_with_scalar" in refit_v.extra:
+            agree_flags.append(bool(refit_v.extra["agrees_with_scalar"]))
+        if refit_v is not None and refit_s is not None and refit_v.wall_time_s > 0:
+            scene_row["refit_speedup_vector_over_scalar"] = round(
+                refit_s.wall_time_s / refit_v.wall_time_s, 3
+            )
+        if agree_flags:
+            scene_row["engines_agree"] = all(agree_flags)
+        if scene_row:
+            section[code] = scene_row
     return section
 
 
@@ -1094,6 +1296,80 @@ def compare_payloads(
                         f"floor {floor:.2f}x)"
                     )
 
+    base_build = baseline.get("derived", {}).get("bvh_build", {})
+    cur_build = current.get("derived", {}).get("bvh_build", {})
+    for code, base_row in base_build.items():
+        cur_row = cur_build.get(code)
+        if cur_row is None:
+            problems.append(f"bvh_build/{code}: scene missing from current run")
+            continue
+        for method, base_m in base_row.get("methods", {}).items():
+            cur_m = cur_row.get("methods", {}).get(method)
+            if cur_m is None:
+                problems.append(
+                    f"bvh_build/{code}: method {method} missing from "
+                    "current run"
+                )
+                continue
+            # Node counts, tree depth and SAH cost are exact functions
+            # of scene + build parameters: any drift is an algorithm
+            # change and must re-baseline deliberately.
+            for key in ("nodes", "max_depth", "sah_cost"):
+                if key not in base_m:
+                    continue
+                cur_value = cur_m.get(key)
+                if cur_value is None:
+                    problems.append(
+                        f"bvh_build/{code}/{method}: {key} missing from "
+                        f"current run (baseline {base_m[key]})"
+                    )
+                elif cur_value != base_m[key]:
+                    problems.append(
+                        f"bvh_build/{code}/{method}: {key} changed "
+                        f"{base_m[key]} -> {cur_value} "
+                        "(tree shape gates exactly)"
+                    )
+            base_speedup = base_m.get("speedup_vector_over_scalar")
+            if base_speedup is not None:
+                cur_speedup = cur_m.get("speedup_vector_over_scalar")
+                if cur_speedup is None:
+                    problems.append(
+                        f"bvh_build/{code}/{method}: vector speedup missing "
+                        f"from current run (baseline {base_speedup}x)"
+                    )
+                else:
+                    floor = base_speedup * (1.0 - tolerance)
+                    if cur_speedup < floor:
+                        problems.append(
+                            f"bvh_build/{code}/{method}: vector speedup "
+                            f"regressed to {cur_speedup}x (baseline "
+                            f"{base_speedup}x, floor {floor:.2f}x)"
+                        )
+        # The vector builders must match the scalar oracles *in the
+        # current run* - the differential gate, not a drift one.
+        if base_row.get("engines_agree") and cur_row.get("engines_agree") is not True:
+            problems.append(
+                f"bvh_build/{code}: vector trees no longer match the "
+                "scalar oracle (engines_agree is "
+                f"{cur_row.get('engines_agree')!r})"
+            )
+        base_refit = base_row.get("refit_speedup_vector_over_scalar")
+        if base_refit is not None:
+            cur_refit = cur_row.get("refit_speedup_vector_over_scalar")
+            if cur_refit is None:
+                problems.append(
+                    f"bvh_build/{code}: refit speedup missing from current "
+                    f"run (baseline {base_refit}x)"
+                )
+            else:
+                floor = base_refit * (1.0 - tolerance)
+                if cur_refit < floor:
+                    problems.append(
+                        f"bvh_build/{code}: refit speedup regressed to "
+                        f"{cur_refit}x (baseline {base_refit}x, "
+                        f"floor {floor:.2f}x)"
+                    )
+
     cur_records = {
         (r["benchmark"], r["scene"], r["engine"]): r
         for r in current.get("results", [])
@@ -1159,5 +1435,17 @@ def summarize(payload: dict) -> str:
             f"vector/scalar {speedup_txt}  "
             f"agree={row.get('engines_agree', '-')}  "
             f"row-hit {row.get('dram_row_hit_rate', 0.0):.1%}"
+        )
+    build = payload.get("derived", {}).get("bvh_build", {})
+    for code, row in build.items():
+        methods = row.get("methods", {})
+        rendered = "  ".join(
+            f"{method}={info.get('speedup_vector_over_scalar', '-')}x"
+            for method, info in methods.items()
+        )
+        refit = row.get("refit_speedup_vector_over_scalar", "-")
+        lines.append(
+            f"  bvh_build {code}: {rendered}  refit={refit}x  "
+            f"agree={row.get('engines_agree', '-')}"
         )
     return "\n".join(lines)

@@ -18,12 +18,20 @@ from repro.bvh.cache import (
 from repro.bvh.io import load_bvh, save_bvh
 from repro.bvh.lbvh import LBVHBuilder
 from repro.bvh.nodes import NODE_SIZE_BYTES, TRIANGLE_SIZE_BYTES, FlatBVH
-from repro.bvh.refit import jitter_mesh, refit_bvh
+from repro.bvh.refit import REFIT_ENGINES, jitter_mesh, refit_bvh
 from repro.bvh.stats import BVHStats, compute_stats
 from repro.bvh.validate import validate_bvh
+from repro.bvh.vector import (
+    BUILD_ENGINES,
+    VectorBinnedSAHBuilder,
+    VectorLBVHBuilder,
+    VectorMedianSplitBuilder,
+)
 
 __all__ = [
+    "BUILD_ENGINES",
     "NODE_SIZE_BYTES",
+    "REFIT_ENGINES",
     "TRIANGLE_SIZE_BYTES",
     "BVHArtifactCache",
     "BVHStats",
@@ -31,6 +39,9 @@ __all__ = [
     "FlatBVH",
     "LBVHBuilder",
     "MedianSplitBuilder",
+    "VectorBinnedSAHBuilder",
+    "VectorLBVHBuilder",
+    "VectorMedianSplitBuilder",
     "build_bvh",
     "cached_build_bvh",
     "compute_stats",

@@ -252,11 +252,37 @@ def _prefix_areas(bin_lo: np.ndarray, bin_hi: np.ndarray) -> np.ndarray:
     return np.where(empty, 0.0, area)
 
 
+def _make_builder(method: str, engine: str, max_leaf_size: int, **kwargs):
+    """Instantiate the builder for ``(method, engine)``."""
+    if engine == "vector":
+        from repro.bvh import vector
+
+        classes = {
+            "sah": vector.VectorBinnedSAHBuilder,
+            "median": vector.VectorMedianSplitBuilder,
+            "lbvh": vector.VectorLBVHBuilder,
+        }
+    elif engine == "scalar":
+        from repro.bvh.lbvh import LBVHBuilder
+
+        classes = {
+            "sah": BinnedSAHBuilder,
+            "median": MedianSplitBuilder,
+            "lbvh": LBVHBuilder,
+        }
+    else:
+        raise ValueError(f"unknown BVH build engine: {engine!r}")
+    if method not in classes:
+        raise ValueError(f"unknown BVH build method: {method!r}")
+    return classes[method](max_leaf_size=max_leaf_size, **kwargs)
+
+
 def build_bvh(
     mesh: TriangleMesh,
     method: str = "sah",
     max_leaf_size: int = 4,
     validate: bool = False,
+    engine: str = "vector",
     **kwargs,
 ) -> FlatBVH:
     """Build a BVH over ``mesh`` using a named strategy.
@@ -269,6 +295,12 @@ def build_bvh(
             (:func:`repro.bvh.validate.validate_bvh`) on the result -
             worth the O(n) pass before long experiments or when the
             input mesh is untrusted.
+        engine: ``"vector"`` (default) runs the level-synchronous
+            frontier builders in :mod:`repro.bvh.vector`; ``"scalar"``
+            runs the per-node reference builders.  Both engines produce
+            array-identical trees (asserted by the differential suite
+            and the ``bvh_build`` benchmark gate), so the choice is
+            purely a speed/debuggability trade.
         **kwargs: forwarded to the selected builder.
 
     Raises:
@@ -279,20 +311,18 @@ def build_bvh(
     from repro.telemetry.publish import publish_bvh
 
     with telemetry.span(
-        "bvh.build", method=method, triangles=len(mesh)
+        "bvh.build", method=method, engine=engine, triangles=len(mesh)
     ) as sp:
-        if method == "sah":
-            bvh = BinnedSAHBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
-        elif method == "median":
-            bvh = MedianSplitBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
-        elif method == "lbvh":
-            from repro.bvh.lbvh import LBVHBuilder
-
-            bvh = LBVHBuilder(max_leaf_size=max_leaf_size, **kwargs).build(mesh)
-        else:
-            raise ValueError(f"unknown BVH build method: {method!r}")
+        builder = _make_builder(method, engine, max_leaf_size, **kwargs)
+        bvh = builder.build(mesh)
         sp.add(nodes=bvh.num_nodes)
     publish_bvh(bvh, method=method)
+    if telemetry.enabled():
+        levels = getattr(builder, "levels_built", 0)
+        if levels:
+            telemetry.inc_counter(
+                "bvh.build_levels", levels, method=method, engine=engine
+            )
     if validate:
         from repro.bvh.validate import validate_bvh
 

@@ -87,6 +87,7 @@ class FlatBVH:
         self._ancestors: Dict[int, np.ndarray] = {}
         self._hot: HotBVH | None = None
         self._tri_to_leaf: np.ndarray | None = None
+        self._levels: List[np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Pickling (``sm_jobs`` worker processes)
@@ -104,6 +105,7 @@ class FlatBVH:
         state["_ancestors"] = {}
         state["_hot"] = None
         state["_tri_to_leaf"] = None
+        state["_levels"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -128,13 +130,20 @@ class FlatBVH:
         return AABB(tuple(self.lo[0]), tuple(self.hi[0]))
 
     def depths(self) -> np.ndarray:
-        """Per-node depth (root = 0), computed once and cached."""
+        """Per-node depth (root = 0), computed once and cached.
+
+        Level-synchronous: each pass advances every node's ancestor
+        pointer one hop at once, so the work is O(depth) numpy kernels
+        instead of a Python loop over nodes.
+        """
         if self._depth is None:
             depth = np.zeros(self.num_nodes, dtype=np.int64)
-            # Nodes are emitted parent-before-children by every builder,
-            # so a single forward pass suffices.
-            for node in range(1, self.num_nodes):
-                depth[node] = depth[self.parent[node]] + 1
+            ancestor = self.parent.copy()
+            live = np.nonzero(ancestor >= 0)[0]
+            while live.size:
+                depth[live] += 1
+                ancestor[live] = self.parent[ancestor[live]]
+                live = live[ancestor[live] >= 0]
             self._depth = depth
         return self._depth
 
@@ -150,13 +159,37 @@ class FlatBVH:
         """Indices of all interior nodes."""
         return np.nonzero(self.left >= 0)[0]
 
+    def levels(self) -> List[np.ndarray]:
+        """Node indices bucketed by depth (``levels()[d]`` sorted).
+
+        The depth-ordered schedule the vectorized refit folds over:
+        a bottom-up sweep touches ``levels()[-1]`` first and reaches the
+        root last, one segmented reduction per depth.  Computed once and
+        cached (dropped on pickle like the other derived views).
+        """
+        if self._levels is None:
+            depth = self.depths()
+            by_depth = np.argsort(depth, kind="stable")
+            counts = np.bincount(depth)
+            bounds = np.concatenate(([0], np.cumsum(counts)))
+            self._levels = [
+                by_depth[bounds[d]:bounds[d + 1]]
+                for d in range(counts.size)
+            ]
+        return self._levels
+
     def leaf_of_triangle(self) -> np.ndarray:
         """Map from reordered triangle index to its containing leaf node."""
         if self._tri_to_leaf is None:
             mapping = np.full(self.num_triangles, -1, dtype=np.int64)
-            for leaf in self.leaf_nodes():
-                start = self.first_tri[leaf]
-                mapping[start : start + self.tri_count[leaf]] = leaf
+            leaves = self.leaf_nodes()
+            starts = self.first_tri[leaves]
+            counts = self.tri_count[leaves]
+            seg = np.repeat(np.arange(leaves.size, dtype=np.int64), counts)
+            offsets = np.zeros(leaves.size, dtype=np.int64)
+            np.cumsum(counts[:-1], out=offsets[1:])
+            within = np.arange(int(counts.sum()), dtype=np.int64) - offsets[seg]
+            mapping[starts[seg] + within] = leaves[seg]
             self._tri_to_leaf = mapping
         return self._tri_to_leaf
 

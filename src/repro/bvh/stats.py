@@ -46,6 +46,9 @@ def compute_stats(bvh: FlatBVH) -> BVHStats:
     """
     leaves = bvh.leaf_nodes()
     interior = bvh.interior_nodes()
+    # Depths come back from the level-synchronous pointer-jumping pass
+    # in FlatBVH.depths(); everything below is whole-array reductions,
+    # so stats cost O(depth) kernels + O(n) arithmetic, no Python loop.
     depths = bvh.depths()
     root_area = aabb_surface_area(tuple(bvh.lo[0]), tuple(bvh.hi[0]))
 
@@ -62,7 +65,7 @@ def compute_stats(bvh: FlatBVH) -> BVHStats:
         num_interior=int(interior.size),
         num_leaves=int(leaves.size),
         num_triangles=bvh.num_triangles,
-        max_depth=bvh.max_depth(),
+        max_depth=int(depths.max()) if bvh.num_nodes else 0,
         avg_leaf_depth=float(depths[leaves].mean()) if leaves.size else 0.0,
         avg_tris_per_leaf=float(leaf_counts.mean()) if leaves.size else 0.0,
         max_tris_per_leaf=int(leaf_counts.max()) if leaves.size else 0,

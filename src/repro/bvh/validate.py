@@ -16,6 +16,11 @@ invariants traversal and the predictor rely on:
 The fault-injection suite relies on this checker as its trusted
 invariant source: a tree that passes here is safe for the traversal and
 speculation guards to assume in-range child links.
+
+Every check runs as whole-array numpy predicates (the per-node Python
+loop this replaces dominated ``build_bvh(validate=True)`` on small
+scenes); on failure the first offending node - lowest index - is
+reported, matching the scan order of the original loop.
 """
 
 from __future__ import annotations
@@ -35,6 +40,11 @@ class BVHValidationError(ReproError, AssertionError):
     """
 
 
+def _first(mask: np.ndarray, nodes: np.ndarray) -> int:
+    """Lowest node index flagged by ``mask`` over ``nodes`` (ascending)."""
+    return int(nodes[int(np.argmax(mask))])
+
+
 def validate_bvh(bvh: FlatBVH, eps: float = 1e-9) -> None:
     """Check all structural invariants of ``bvh``.
 
@@ -47,65 +57,122 @@ def validate_bvh(bvh: FlatBVH, eps: float = 1e-9) -> None:
     if bvh.parent[0] != -1:
         raise BVHValidationError("node 0 must be the root (parent == -1)")
 
-    seen_children = np.zeros(n, dtype=bool)
-    covered = np.zeros(bvh.num_triangles, dtype=np.int64)
-    for node in range(n):
-        lo = bvh.lo[node]
-        hi = bvh.hi[node]
-        if not (np.all(np.isfinite(lo)) and np.all(np.isfinite(hi))):
-            raise BVHValidationError(f"node {node} has non-finite bounds")
-        if np.any(lo > hi + eps):
-            raise BVHValidationError(f"node {node} has inverted bounds")
-        if bvh.is_leaf(node):
-            if int(bvh.left[node]) >= 0 or int(bvh.right[node]) >= 0:
-                raise BVHValidationError(
-                    f"leaf {node} has inconsistent child encoding "
-                    f"(left={int(bvh.left[node])}, right={int(bvh.right[node])})"
-                )
-            start = int(bvh.first_tri[node])
-            count = int(bvh.tri_count[node])
-            if count <= 0:
-                raise BVHValidationError(f"leaf {node} holds no triangles")
-            if start < 0 or start + count > bvh.num_triangles:
-                raise BVHValidationError(f"leaf {node} triangle range out of bounds")
-            covered[start : start + count] += 1
-            tri_slice = slice(start, start + count)
-            tri_lo = np.minimum(
-                np.minimum(bvh.mesh.v0[tri_slice], bvh.mesh.v1[tri_slice]),
-                bvh.mesh.v2[tri_slice],
-            )
-            tri_hi = np.maximum(
-                np.maximum(bvh.mesh.v0[tri_slice], bvh.mesh.v1[tri_slice]),
-                bvh.mesh.v2[tri_slice],
-            )
-            if np.any(tri_lo < lo - eps) or np.any(tri_hi > hi + eps):
-                raise BVHValidationError(f"leaf {node} does not bound its triangles")
-        else:
-            left = int(bvh.left[node])
-            right = int(bvh.right[node])
-            for child in (left, right):
-                if child <= node or child >= n:
-                    raise BVHValidationError(
-                        f"node {node} has invalid child index {child}"
-                    )
-                if seen_children[child]:
-                    raise BVHValidationError(f"node {child} has two parents")
-                seen_children[child] = True
-                if bvh.parent[child] != node:
-                    raise BVHValidationError(
-                        f"child {child} parent link does not point to {node}"
-                    )
-                if np.any(bvh.lo[child] < lo - eps) or np.any(bvh.hi[child] > hi + eps):
-                    raise BVHValidationError(
-                        f"node {node} does not bound child {child}"
-                    )
+    lo = bvh.lo
+    hi = bvh.hi
+    non_finite = ~(
+        np.isfinite(lo).all(axis=1) & np.isfinite(hi).all(axis=1)
+    )
+    if non_finite.any():
+        raise BVHValidationError(
+            f"node {int(np.argmax(non_finite))} has non-finite bounds"
+        )
+    inverted = (lo > hi + eps).any(axis=1)
+    if inverted.any():
+        raise BVHValidationError(
+            f"node {int(np.argmax(inverted))} has inverted bounds"
+        )
 
+    leaf_mask = bvh.left < 0
+    bad_encoding = leaf_mask & (bvh.right >= 0)
+    if bad_encoding.any():
+        node = int(np.argmax(bad_encoding))
+        raise BVHValidationError(
+            f"leaf {node} has inconsistent child encoding "
+            f"(left={int(bvh.left[node])}, right={int(bvh.right[node])})"
+        )
+
+    leaves = np.nonzero(leaf_mask)[0]
+    starts = bvh.first_tri[leaves]
+    counts = bvh.tri_count[leaves]
+    empty = counts <= 0
+    if empty.any():
+        raise BVHValidationError(
+            f"leaf {_first(empty, leaves)} holds no triangles"
+        )
+    out_of_range = (starts < 0) | (starts + counts > bvh.num_triangles)
+    if out_of_range.any():
+        raise BVHValidationError(
+            f"leaf {_first(out_of_range, leaves)} triangle range out of bounds"
+        )
+
+    # Per-leaf triangle containment: fold each leaf's triangle bounds
+    # with one gather + segmented reduction instead of a slice per leaf.
+    tri_lo = np.minimum(np.minimum(bvh.mesh.v0, bvh.mesh.v1), bvh.mesh.v2)
+    tri_hi = np.maximum(np.maximum(bvh.mesh.v0, bvh.mesh.v1), bvh.mesh.v2)
+    if leaves.size:
+        from repro.bvh.vector import concat_ranges
+
+        positions, _, _, seg_offsets = concat_ranges(starts, starts + counts)
+        span_lo = np.minimum.reduceat(tri_lo[positions], seg_offsets, axis=0)
+        span_hi = np.maximum.reduceat(tri_hi[positions], seg_offsets, axis=0)
+        unbounded = (
+            (span_lo < lo[leaves] - eps).any(axis=1)
+            | (span_hi > hi[leaves] + eps).any(axis=1)
+        )
+        if unbounded.any():
+            raise BVHValidationError(
+                f"leaf {_first(unbounded, leaves)} does not bound its triangles"
+            )
+
+    interior = np.nonzero(~leaf_mask)[0]
+    left = bvh.left[interior]
+    right = bvh.right[interior]
+    bad_left = (left <= interior) | (left >= n)
+    bad_right = (right <= interior) | (right >= n)
+    bad_child = bad_left | bad_right
+    if bad_child.any():
+        at = int(np.argmax(bad_child))
+        child = int(left[at]) if bad_left[at] else int(right[at])
+        raise BVHValidationError(
+            f"node {int(interior[at])} has invalid child index {child}"
+        )
+
+    referenced = np.bincount(np.concatenate((left, right)), minlength=n)
+    shared = referenced > 1
+    if shared.any():
+        raise BVHValidationError(
+            f"node {int(np.argmax(shared))} has two parents"
+        )
+
+    bad_parent_left = bvh.parent[left] != interior
+    bad_parent_right = bvh.parent[right] != interior
+    bad_parent = bad_parent_left | bad_parent_right
+    if bad_parent.any():
+        at = int(np.argmax(bad_parent))
+        child = int(left[at]) if bad_parent_left[at] else int(right[at])
+        raise BVHValidationError(
+            f"child {child} parent link does not point to {int(interior[at])}"
+        )
+
+    escapes_left = (
+        (lo[left] < lo[interior] - eps).any(axis=1)
+        | (hi[left] > hi[interior] + eps).any(axis=1)
+    )
+    escapes_right = (
+        (lo[right] < lo[interior] - eps).any(axis=1)
+        | (hi[right] > hi[interior] + eps).any(axis=1)
+    )
+    escapes = escapes_left | escapes_right
+    if escapes.any():
+        at = int(np.argmax(escapes))
+        child = int(left[at]) if escapes_left[at] else int(right[at])
+        raise BVHValidationError(
+            f"node {int(interior[at])} does not bound child {child}"
+        )
+
+    # Leaves must tile the triangle range exactly once; a difference
+    # array turns the per-leaf interval sum into two scatters + cumsum.
+    boundary = np.zeros(bvh.num_triangles + 1, dtype=np.int64)
+    np.add.at(boundary, starts, 1)
+    np.add.at(boundary, starts + counts, -1)
+    covered = np.cumsum(boundary[:-1])
     if np.any(covered != 1):
-        bad = int(np.nonzero(covered != 1)[0][0])
+        bad = int(np.argmax(covered != 1))
         raise BVHValidationError(
             f"triangle {bad} referenced {int(covered[bad])} times (expected once)"
         )
-    orphans = np.nonzero(~seen_children)[0]
+
+    orphans = np.nonzero(referenced == 0)[0]
     orphans = orphans[orphans != 0]
     if orphans.size:
         raise BVHValidationError(f"node {int(orphans[0])} is unreachable")

@@ -408,10 +408,14 @@ def wavefront_closest_batch(
 
     The per-ray best-so-far ``t`` doubles as the slab-test upper bound,
     so subtrees provably farther than the current best are pruned - the
-    same bound the scalar engine tightens, applied level by level.
-    Pruning only ever skips work; the minimum hit parameter over all
-    in-range triangles is traversal-order independent, so the final
-    ``t`` stays bit-identical to the scalar engine.  On an exact ``t``
+    same bound the scalar engine tightens, applied level by level.  In
+    almost all cases the final ``t`` is bit-identical to the scalar
+    engine's; the exception is a ray grazing a node face, where the slab
+    entry ``t`` rounds a ULP above the true intersection parameter and
+    the best-``t``-bounded box test culls a subtree one traversal order
+    visited before tightening and the other after.  Both engines then
+    report genuine intersections within a ULP of each other (the
+    property suite pins down exactly this contract).  On an exact ``t``
     tie between triangles of one level the lowest triangle index wins;
     across levels the earliest level keeps the slot, so the reported
     triangle can differ from the scalar engine's on a genuine tie

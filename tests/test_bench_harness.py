@@ -158,6 +158,134 @@ class TestRegressionGate:
         assert check_against_baselines(payload, str(tmp_path)) == []
 
 
+#: Build-benchmark variant of the test preset: one scene, every method,
+#: both build engines, plus the refit pass.
+BUILD_TEST_PRESET = BenchPreset(
+    name="buildtest",
+    scenes=("SB",),
+    width=6,
+    height=6,
+    spp=1,
+    seed=1,
+    detail=0.25,
+    sim_rays=0,
+    repeats=1,
+    benchmarks=("bvh_build",),
+)
+
+
+@pytest.fixture(scope="module")
+def build_payload():
+    return run_benchmarks(BUILD_TEST_PRESET)
+
+
+class TestBuildArtifact:
+    def test_record_matrix(self, build_payload):
+        # 3 methods x 2 engines + refit x 2 engines.
+        records = build_payload["results"]
+        assert len(records) == 8
+        benchmarks = {r["benchmark"] for r in records}
+        assert benchmarks == {
+            "bvh_build_sah", "bvh_build_median", "bvh_build_lbvh",
+            "bvh_refit",
+        }
+        for record in records:
+            assert record["engine"] in ("vector", "scalar")
+            assert record["rays"] > 0  # triangle count
+            assert record["node_fetches"] == 0
+
+    def test_vector_records_carry_agreement_verdict(self, build_payload):
+        for record in build_payload["results"]:
+            if record["engine"] == "vector":
+                assert record["extra"]["agrees_with_scalar"] == 1.0
+            else:
+                assert "agrees_with_scalar" not in record["extra"]
+
+    def test_derived_section_shape(self, build_payload):
+        section = build_payload["derived"]["bvh_build"]["SB"]
+        assert section["engines_agree"] is True
+        assert section["refit_speedup_vector_over_scalar"] > 0
+        methods = section["methods"]
+        assert set(methods) == {"sah", "median", "lbvh"}
+        for row in methods.values():
+            assert row["nodes"] > 0
+            assert row["max_depth"] > 0
+            assert row["speedup_vector_over_scalar"] > 0
+
+    def test_tree_shape_matches_records(self, build_payload):
+        # The derived section must be reconstructable from the records:
+        # per method, nodes/depth/cost come from the vector record.
+        section = build_payload["derived"]["bvh_build"]["SB"]
+        by_key = {
+            (r["benchmark"], r["engine"]): r for r in build_payload["results"]
+        }
+        for method, row in section["methods"].items():
+            rec = by_key[(f"bvh_build_{method}", "vector")]
+            assert row["nodes"] == int(rec["extra"]["nodes"])
+            assert row["max_depth"] == int(rec["extra"]["max_depth"])
+            assert row["sah_cost"] == rec["extra"]["sah_cost"]
+
+    def test_summarize_mentions_build(self, build_payload):
+        text = summarize(build_payload)
+        assert "bvh_build SB" in text
+        assert "agree=True" in text
+
+    def test_scalar_rung_drops_vector_engine(self):
+        # A degraded unit (no "wavefront" in the traversal-engine set)
+        # must time the scalar builders only.
+        payload = run_benchmarks(BUILD_TEST_PRESET, engines=("scalar",))
+        engines = {r["engine"] for r in payload["results"]}
+        assert engines == {"scalar"}
+        section = payload["derived"]["bvh_build"]["SB"]
+        assert "engines_agree" not in section
+        assert "speedup_vector_over_scalar" not in section["methods"]["sah"]
+
+
+class TestBuildRegressionGate:
+    def test_identical_payloads_pass(self, build_payload):
+        assert compare_payloads(build_payload, build_payload) == []
+
+    def test_engine_disagreement_fails(self, build_payload):
+        current = copy.deepcopy(build_payload)
+        current["derived"]["bvh_build"]["SB"]["engines_agree"] = False
+        problems = compare_payloads(current, build_payload)
+        assert any("no longer match the scalar oracle" in p for p in problems)
+
+    def test_tree_shape_drift_fails(self, build_payload):
+        current = copy.deepcopy(build_payload)
+        row = current["derived"]["bvh_build"]["SB"]["methods"]["sah"]
+        row["nodes"] += 2
+        problems = compare_payloads(current, build_payload)
+        assert any("nodes changed" in p for p in problems)
+
+    def test_sah_cost_gates_exactly(self, build_payload):
+        current = copy.deepcopy(build_payload)
+        row = current["derived"]["bvh_build"]["SB"]["methods"]["sah"]
+        row["sah_cost"] += 1e-6
+        problems = compare_payloads(current, build_payload)
+        assert any("sah_cost changed" in p for p in problems)
+
+    def test_build_speedup_floor(self, build_payload):
+        current = copy.deepcopy(build_payload)
+        row = current["derived"]["bvh_build"]["SB"]["methods"]["sah"]
+        row["speedup_vector_over_scalar"] = 0.01
+        problems = compare_payloads(current, build_payload)
+        assert any("vector speedup regressed" in p for p in problems)
+
+    def test_refit_speedup_floor(self, build_payload):
+        current = copy.deepcopy(build_payload)
+        current["derived"]["bvh_build"]["SB"][
+            "refit_speedup_vector_over_scalar"] = 0.01
+        problems = compare_payloads(current, build_payload)
+        assert any("refit speedup regressed" in p for p in problems)
+
+    def test_missing_scene_fails(self, build_payload):
+        current = copy.deepcopy(build_payload)
+        del current["derived"]["bvh_build"]["SB"]
+        problems = compare_payloads(current, build_payload)
+        assert any("scene missing" in p for p in problems)
+
+
 BASELINE_DIR = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "benchmarks",
@@ -185,3 +313,14 @@ class TestCommittedBaselines:
         payload = load_payload(os.path.join(BASELINE_DIR, "BENCH_wavefront.json"))
         speed = payload["derived"]["speedup_wavefront_over_scalar"]
         assert speed["occlusion_trace"]["SP"] >= 5.0
+
+    def test_build_baseline_meets_speedup_target(self):
+        # ISSUE acceptance criterion: the committed build baseline shows
+        # >=3x vector-over-scalar construction speedup on the largest
+        # scene (BI), with the engines agreeing on every scene.
+        payload = load_payload(os.path.join(BASELINE_DIR, "BENCH_build.json"))
+        section = payload["derived"]["bvh_build"]
+        assert section["BI"]["methods"]["sah"][
+            "speedup_vector_over_scalar"] >= 3.0
+        for code, row in section.items():
+            assert row["engines_agree"] is True, code

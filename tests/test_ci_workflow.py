@@ -41,7 +41,7 @@ class TestWorkflowStructure:
     def test_parses_and_has_expected_jobs(self, workflow):
         assert set(workflow["jobs"]) == {
             "test", "lint", "benchmark-smoke", "telemetry-smoke",
-            "chaos-smoke", "timing-smoke",
+            "chaos-smoke", "timing-smoke", "build-smoke",
         }
 
     def test_python_matrix_spans_supported_range(self, workflow):
@@ -87,9 +87,29 @@ class TestArtifactCache:
         assert cache_steps, f"{job} must restore the BVH artifact cache"
         cache_path = workflow["env"]["REPRO_ARTIFACT_CACHE"]
         assert cache_steps[0]["with"]["path"] == cache_path
-        # The key must invalidate when the on-disk format changes
-        # (repro.bvh.io.FORMAT_VERSION lives in io.py).
-        assert "src/repro/bvh/io.py" in cache_steps[0]["with"]["key"]
+        # A store entry's bytes are a function of the serializer AND
+        # the builder that produced the tree, so the key must
+        # invalidate when either changes: io.py carries FORMAT_VERSION,
+        # builder.py/lbvh.py the scalar oracles, vector.py the default
+        # frontier engine.
+        key = cache_steps[0]["with"]["key"]
+        for module in (
+            "src/repro/bvh/io.py",
+            "src/repro/bvh/builder.py",
+            "src/repro/bvh/lbvh.py",
+            "src/repro/bvh/vector.py",
+        ):
+            assert module in key, f"{job} cache key must hash {module}"
+
+    def test_build_smoke_skips_bvh_cache(self, workflow):
+        # The build job times BVH construction itself; restoring a
+        # prebuilt store would be dead weight (the build preset never
+        # consults it).
+        cache_steps = [
+            step for step in workflow["jobs"]["build-smoke"]["steps"]
+            if "actions/cache" in step.get("uses", "")
+        ]
+        assert not cache_steps
 
 
 class TestBenchmarkGate:
@@ -194,6 +214,34 @@ class TestTimingGate:
             for step in workflow["jobs"]["timing-smoke"]["steps"]
         ]
         assert any("BENCH_timing.json" in p for p in paths)
+
+
+class TestBuildGate:
+    def test_smoke_job_runs_build_preset_check(self, workflow):
+        runs = [
+            step.get("run", "")
+            for step in workflow["jobs"]["build-smoke"]["steps"]
+        ]
+        gate = [r for r in runs if "repro bench --preset build" in r]
+        assert gate, "build-smoke must run the build preset"
+        # --quick keeps the pinned scenes but times a single repeat;
+        # --check fails the build on tree-shape drift or an
+        # engines-agree violation.
+        assert any("--quick" in r and "--check" in r for r in gate)
+
+    def test_committed_build_baseline_exists_for_gate(self):
+        baseline = os.path.join(
+            os.path.dirname(WORKFLOW), "..", "..",
+            "benchmarks", "baselines", "BENCH_build.json",
+        )
+        assert os.path.exists(baseline)
+
+    def test_uploads_artifact(self, workflow):
+        paths = [
+            step.get("with", {}).get("path", "")
+            for step in workflow["jobs"]["build-smoke"]["steps"]
+        ]
+        assert any("BENCH_build.json" in p for p in paths)
 
 
 class TestTelemetryGate:

@@ -49,6 +49,39 @@ class TestRefit:
         assert np.allclose(a.v0, b.v0)
 
 
+class TestRefitEngines:
+    """The level-synchronous refit is a drop-in for the scalar oracle."""
+
+    @pytest.mark.parametrize("method", ["sah", "median", "lbvh"])
+    def test_vector_refit_bit_identical_to_scalar(self, small_scene, method):
+        bvh = build_bvh(small_scene.mesh, method=method)
+        moved = jitter_mesh(bvh.mesh, magnitude=0.07, seed=5)
+        vec = refit_bvh(bvh, moved, engine="vector")
+        sca = refit_bvh(bvh, moved, engine="scalar")
+        # Min/max folds are exactly associative, so the two schedules
+        # must agree to the bit, not within a tolerance.
+        assert np.array_equal(vec.lo, sca.lo)
+        assert np.array_equal(vec.hi, sca.hi)
+
+    def test_unknown_engine_raises(self, small_bvh):
+        with pytest.raises(ValueError, match="refit engine"):
+            refit_bvh(small_bvh, small_bvh.mesh, engine="cuda")
+
+    def test_deformed_mesh_keeps_indices_stable(self, small_bvh):
+        # The inter-frame contract: predictor tables store node indices,
+        # so a refit over a deformed mesh must leave every index-valued
+        # array untouched - only bounds may move.
+        moved = jitter_mesh(small_bvh.mesh, magnitude=0.2, seed=11)
+        refitted = refit_bvh(small_bvh, moved, engine="vector")
+        for attr in ("left", "right", "first_tri", "tri_count",
+                     "parent", "tri_indices"):
+            assert np.array_equal(
+                getattr(refitted, attr), getattr(small_bvh, attr)
+            ), attr
+        assert refitted.mesh is moved
+        assert not np.array_equal(refitted.lo, small_bvh.lo)
+
+
 class TestRebind:
     def test_rebind_keeps_table(self, small_bvh):
         predictor = RayPredictor(small_bvh, PC)

@@ -726,14 +726,15 @@ class TestSimulateSweep:
 # Artifact schema
 # ----------------------------------------------------------------------
 class TestSchemaBump:
-    def test_bench_schema_is_v5_and_backward_compatible(self):
+    def test_bench_schema_is_v6_and_backward_compatible(self):
         from repro.bench import ACCEPTED_SCHEMAS, BENCH_SCHEMA
 
-        assert BENCH_SCHEMA == "repro-bench/5"
+        assert BENCH_SCHEMA == "repro-bench/6"
         assert "repro-bench/1" in ACCEPTED_SCHEMAS
         assert "repro-bench/2" in ACCEPTED_SCHEMAS
         assert "repro-bench/3" in ACCEPTED_SCHEMAS
         assert "repro-bench/4" in ACCEPTED_SCHEMAS
+        assert "repro-bench/5" in ACCEPTED_SCHEMAS
 
     def test_resilient_payload_json_serializable(self):
         payload = run_benchmarks(
@@ -741,7 +742,7 @@ class TestSchemaBump:
             resilience=fast_options(),
             fault_plan=UnitFaultPlan(rate=0.0),
         )
-        assert payload["schema"] == "repro-bench/5"
+        assert payload["schema"] == "repro-bench/6"
         json.dumps(payload)
         section = payload["resilience"]
         assert section["enabled"] is True

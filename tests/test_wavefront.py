@@ -223,19 +223,28 @@ class TestPropertyEquivalence:
         assert np.array_equal(occ_s, occ_w)
         ts_s, tri_s = trace_closest_batch(small_bvh, rays, engine="scalar")
         ts_w, tri_w = trace_closest_batch(small_bvh, rays, engine="wavefront")
-        assert np.array_equal(ts_s, ts_w)
-        # The reported triangle may differ only on a genuine exact-t tie:
-        # coplanar triangles lying on a BVH node face can be pruned by one
-        # engine's traversal order but not the other's (the slab t_near and
-        # the Moeller-Trumbore t round differently at the boundary), so
-        # each engine deterministically reports the lowest-index triangle
-        # *it visited*.  Any divergence must still be at the identical t.
-        for i in np.nonzero(tri_s != tri_w)[0]:
+        # Engines agree bit-for-bit except when a ray grazes a BVH node
+        # face: the slab t_near and the Moeller-Trumbore t round
+        # differently at the boundary, so the best-t-bounded box test
+        # can cull a subtree under one traversal order but not the
+        # other.  That surfaces two ways - the same t with a different
+        # lowest-index-visited triangle (coplanar exact tie), or t
+        # values a ULP apart (one engine pruned the subtree holding the
+        # marginally closer triangle).  Either way both engines must
+        # report a genuine intersection at exactly the t they claim,
+        # and the claims may differ by at most a few ULPs.
+        mesh = small_bvh.mesh
+        for i in np.nonzero((ts_s != ts_w) | (tri_s != tri_w))[0]:
             assert tri_s[i] >= 0 and tri_w[i] >= 0
-            mesh = small_bvh.mesh
-            for tri in (int(tri_s[i]), int(tri_w[i])):
+            gap = abs(ts_s[i] - ts_w[i])
+            assert gap <= 4.0 * np.spacing(max(ts_s[i], ts_w[i])), (
+                i, ts_s[i], ts_w[i],
+            )
+            for tri, t_claim in (
+                (int(tri_s[i]), ts_s[i]), (int(tri_w[i]), ts_w[i])
+            ):
                 t = ray_triangle_intersect(
                     *origins[i], *directions[i], 0.0, np.inf,
                     tuple(mesh.v0[tri]), tuple(mesh.v1[tri]), tuple(mesh.v2[tri]),
                 )
-                assert t == ts_s[i], (i, tri, t, ts_s[i])
+                assert t == t_claim, (i, tri, t, t_claim)
